@@ -1,0 +1,399 @@
+// Benchmarks regenerating the paper's figures and tables in testing.B form.
+// Each benchmark corresponds to one artifact of the paper's presentation;
+// the experiment IDs match internal/experiments and EXPERIMENTS.md. Run the
+// full sweeps (with slope fits against the paper's exponents) via
+//
+//	go run ./cmd/hiqbench
+//
+// and the per-operation microbenchmarks here via
+//
+//	go test -bench=. -benchmem
+package ivmeps_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ivmeps/internal/baseline"
+	"ivmeps/internal/core"
+	"ivmeps/internal/experiments"
+	"ivmeps/internal/naive"
+	"ivmeps/internal/query"
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+	"ivmeps/internal/workload"
+)
+
+const benchN = 4000
+
+func twoPathDB(n int) naive.Database {
+	return workload.TwoPath(rand.New(rand.NewSource(1)), n, 1.15)
+}
+
+func mustIVM(b *testing.B, q *query.Query, eps float64, db naive.Database) *baseline.IVMEps {
+	b.Helper()
+	sys, err := baseline.NewIVMEps(q, eps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Preprocess(db); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// replayStream applies b.N updates by cycling an insert-only stream:
+// even passes insert the stream's tuples, odd passes delete them again, so
+// the database stays bounded and deletes always have matching inserts.
+func replayStream(b *testing.B, sys baseline.System, stream []workload.Update) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		u := stream[i%len(stream)]
+		mult := u.Mult
+		if (i/len(stream))%2 == 1 {
+			mult = -mult
+		}
+		if err := sys.Update(u.Rel, u.Tuple, mult); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1StaticPreprocess measures the preprocessing stage of
+// Figure 1 (left) / Theorem 2 at each ε: one op = one full preprocessing of
+// an N≈2·benchN Zipf database (expected cost O(N^(1+ε)) for w=2).
+func BenchmarkFig1StaticPreprocess(b *testing.B) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	for _, eps := range []float64{0, 0.5, 1} {
+		b.Run(fmt.Sprintf("eps=%.2f", eps), func(b *testing.B) {
+			n := benchN
+			if eps == 1 {
+				n = benchN / 4
+			}
+			db := twoPathDB(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys, err := baseline.NewIVMEpsStatic(q, eps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Preprocess(db.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1DynamicUpdate measures the amortized single-tuple update of
+// Figure 1 (left) / Theorem 4 at each ε: one op = one Update (expected
+// amortized O(N^ε) for δ=1).
+func BenchmarkFig1DynamicUpdate(b *testing.B) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	for _, eps := range []float64{0, 0.5, 1} {
+		b.Run(fmt.Sprintf("eps=%.2f", eps), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			db := workload.TwoPath(rng, benchN, 1.15)
+			sys := mustIVM(b, q, eps, db.Clone())
+			stream := workload.UpdateStream(rng, q, db, 4096, 0)
+			b.ResetTimer()
+			replayStream(b, sys, stream)
+		})
+	}
+}
+
+// BenchmarkFig1Delay measures the enumeration delay of Figure 1 (left):
+// one op = producing one distinct result tuple (expected O(N^(1−ε))).
+func BenchmarkFig1Delay(b *testing.B) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	for _, eps := range []float64{0, 0.5, 1} {
+		b.Run(fmt.Sprintf("eps=%.2f", eps), func(b *testing.B) {
+			n := benchN
+			if eps == 1 {
+				n = benchN / 4
+			}
+			sys := mustIVM(b, q, eps, twoPathDB(n))
+			b.ResetTimer()
+			produced := 0
+			for produced < b.N {
+				sys.Enumerate(func(t tuple.Tuple, m int64) bool {
+					produced++
+					return produced < b.N
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig2Classify measures the query classification of Figure 2's
+// landscape: one op = classifying the full query catalog (hierarchical,
+// q-hierarchical, free-connex, widths).
+func BenchmarkFig2Classify(b *testing.B) {
+	catalog := []*query.Query{
+		query.MustParse("Q(A, B) = R(A, B), S(B)"),
+		query.MustParse("Q(A) = R(A, B), S(B)"),
+		query.MustParse("Q(A, C) = R(A, B), S(B, C)"),
+		query.MustParse("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)"),
+		query.MustParse("Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)"),
+		query.MustParse("Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range catalog {
+			_ = query.Classify(q)
+		}
+	}
+}
+
+// BenchmarkFig3OMvRound measures one OMv round (Appendix B.8 / Figure 3's
+// Pareto point): n vector updates plus a full enumeration of
+// Q(A) = R(A,B), S(B) at ε = 1/2.
+func BenchmarkFig3OMvRound(b *testing.B) {
+	const mn = 96
+	inst := workload.NewOMvInstance(rand.New(rand.NewSource(3)), mn, 0.4)
+	q := query.MustParse("Q(A) = R(A, B), S(B)")
+	sys := mustIVM(b, q, 0.5, inst.Matrix)
+	var prev []int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec := inst.Rounds[i%len(inst.Rounds)]
+		for _, v := range prev {
+			if err := sys.Update("S", tuple.Tuple{v}, -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, v := range vec {
+			if err := sys.Update("S", tuple.Tuple{v}, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		prev = vec
+		sys.Enumerate(func(t tuple.Tuple, m int64) bool { return true })
+	}
+}
+
+// BenchmarkFig4StaticRows measures the static landscape rows of Figure 4 as
+// preprocessing ops at the ε that recovers each row.
+func BenchmarkFig4StaticRows(b *testing.B) {
+	rows := []struct {
+		name string
+		q    string
+		eps  float64
+		gen  func() naive.Database
+	}{
+		{"alpha-acyclic-eps0", "Q(A, C) = R(A, B), S(B, C)", 0,
+			func() naive.Database { return twoPathDB(benchN) }},
+		{"full-cq-eps1", "Q(A, C) = R(A, B), S(B, C)", 1,
+			func() naive.Database { return twoPathDB(benchN / 4) }},
+		{"free-connex", "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)", 1,
+			func() naive.Database { return workload.FreeConnex18(rand.New(rand.NewSource(4)), benchN) }},
+		{"bounded-degree", "Q(A, C) = R(A, B), S(B, C)", 1,
+			func() naive.Database { return workload.BoundedDegree(rand.New(rand.NewSource(5)), benchN, 8) }},
+	}
+	for _, row := range rows {
+		b.Run(row.name, func(b *testing.B) {
+			q := query.MustParse(row.q)
+			db := row.gen()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys, err := baseline.NewIVMEpsStatic(q, row.eps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Preprocess(db.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5DynamicRows measures the dynamic landscape of Figure 5: one
+// op = one single-tuple update, for our engine and for the prior-work
+// baselines on the same non-q-hierarchical query.
+func BenchmarkFig5DynamicRows(b *testing.B) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	build := map[string]func() baseline.System{
+		"ivm-eps-0.5": func() baseline.System { s, _ := baseline.NewIVMEps(q, 0.5); return s },
+		"fo-ivm":      func() baseline.System { s, _ := baseline.NewFirstOrderIVM(q); return s },
+		"plain-tree":  func() baseline.System { s, _ := baseline.NewPlainTree(q); return s },
+		"recompute":   func() baseline.System { return baseline.NewRecompute(q) },
+	}
+	for _, name := range []string{"ivm-eps-0.5", "fo-ivm", "plain-tree", "recompute"} {
+		b.Run(name+"/update", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(6))
+			db := workload.TwoPath(rng, benchN, 1.15)
+			sys := build[name]()
+			if err := sys.Preprocess(db.Clone()); err != nil {
+				b.Fatal(err)
+			}
+			stream := workload.UpdateStream(rng, q, db, 4096, 0)
+			b.ResetTimer()
+			replayStream(b, sys, stream)
+		})
+	}
+	// The q-hierarchical row: constant-time updates at ε=1.
+	b.Run("q-hierarchical/update", func(b *testing.B) {
+		qh := query.MustParse("Q(A, B) = R(A, B), S(B)")
+		rng := rand.New(rand.NewSource(7))
+		db := workload.TwoPathUnary(rng, benchN, 1.1)
+		sys := mustIVM(b, qh, 1, db.Clone())
+		stream := workload.UpdateStream(rng, qh, db, 4096, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u := stream[i%len(stream)]
+			mult := u.Mult
+			if i >= len(stream) && i/len(stream)%2 == 1 {
+				mult = -mult
+			}
+			if err := sys.Update(u.Rel, u.Tuple, mult); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExample18FreeConnex measures Example 18 (Figure 9): one op = one
+// result tuple at constant delay after linear preprocessing.
+func BenchmarkExample18FreeConnex(b *testing.B) {
+	q := query.MustParse("Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)")
+	sys := mustIVM(b, q, 0.5, workload.FreeConnex18(rand.New(rand.NewSource(8)), benchN))
+	b.ResetTimer()
+	produced := 0
+	for produced < b.N {
+		sys.Enumerate(func(t tuple.Tuple, m int64) bool {
+			produced++
+			return produced < b.N
+		})
+	}
+}
+
+// BenchmarkExample19Update measures Example 19/24's maintenance (w=3, δ=3,
+// three view trees, two indicator triples): one op = one update.
+func BenchmarkExample19Update(b *testing.B) {
+	q := query.MustParse("Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)")
+	rng := rand.New(rand.NewSource(9))
+	db := workload.Star19(rng, benchN/2, 1.3)
+	sys := mustIVM(b, q, 0.3, db.Clone())
+	stream := workload.UpdateStream(rng, q, db, 4096, 0)
+	b.ResetTimer()
+	replayStream(b, sys, stream)
+}
+
+// BenchmarkExample28MatMul measures Example 28: one op = one full matrix
+// product via preprocessing at ε = 1/2 (O(N^(3/2)) = O(n³)).
+func BenchmarkExample28MatMul(b *testing.B) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	db := workload.Matrix(rand.New(rand.NewSource(10)), 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := baseline.NewIVMEpsStatic(q, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Preprocess(db.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExample29Update measures Example 29's maintenance at ε = 1/2:
+// one op = one update to R or S of Q(A) = R(A, B), S(B).
+func BenchmarkExample29Update(b *testing.B) {
+	q := query.MustParse("Q(A) = R(A, B), S(B)")
+	rng := rand.New(rand.NewSource(11))
+	db := workload.TwoPathUnary(rng, benchN, 1.2)
+	sys := mustIVM(b, q, 0.5, db.Clone())
+	stream := workload.UpdateStream(rng, q, db, 4096, 0)
+	b.ResetTimer()
+	replayStream(b, sys, stream)
+}
+
+// BenchmarkRebalancingChurn measures Section 6.2's amortization: one op =
+// one update from a high-churn stream (50% deletes) whose cost includes any
+// minor/major rebalancing it triggers.
+func BenchmarkRebalancingChurn(b *testing.B) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	rng := rand.New(rand.NewSource(12))
+	db := workload.TwoPath(rng, benchN, 1.15)
+	sys := mustIVM(b, q, 0.5, db.Clone())
+	stream := workload.UpdateStream(rng, q, db, 8192, 0)
+	b.ResetTimer()
+	replayStream(b, sys, stream)
+}
+
+// BenchmarkExperimentQuick smoke-runs each experiment harness end to end
+// (the artifact-generation path used by cmd/hiqbench).
+func BenchmarkExperimentQuick(b *testing.B) {
+	for _, id := range []string{"fig2", "ex28"} {
+		exp := experiments.Find(id)
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = exp.Run(experiments.Config{Quick: true, Seed: 2020})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAuxViews quantifies Figure 8's auxiliary views: one op =
+// one single-tuple update, with and without the aux views (Lemma 47's
+// constant-time sibling lookups vs sibling-subtree scans).
+func BenchmarkAblationAuxViews(b *testing.B) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	for _, noAux := range []bool{false, true} {
+		name := "with-aux"
+		if noAux {
+			name = "no-aux"
+		}
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(21))
+			db := workload.TwoPath(rng, benchN, 1.15)
+			e, err := core.New(q, core.Options{Mode: viewtree.Dynamic, Epsilon: 0.5, NoAuxViews: noAux})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := core.Preprocess(e, db.Clone()); err != nil {
+				b.Fatal(err)
+			}
+			stream := workload.UpdateStream(rng, q, db, 4096, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := stream[i%len(stream)]
+				mult := u.Mult
+				if (i/len(stream))%2 == 1 {
+					mult = -mult
+				}
+				if err := e.Update(u.Rel, u.Tuple, mult); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPushdown quantifies the InsideOut aggregation pushdown
+// behind Proposition 21: one op = one ε=0 preprocessing, with pushdown
+// (linear) vs flat child joins (output-sized).
+func BenchmarkAblationPushdown(b *testing.B) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	for _, noPush := range []bool{false, true} {
+		name := "pushdown"
+		if noPush {
+			name = "flat-join"
+		}
+		b.Run(name, func(b *testing.B) {
+			db := twoPathDB(benchN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e, err := core.New(q, core.Options{Mode: viewtree.Static, Epsilon: 0, NoPushdown: noPush})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := core.Preprocess(e, db.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Command hiqbench regenerates the paper's figures and tables by running
+// the experiment suite (internal/experiments) and printing markdown reports
+// with measured scaling slopes next to the paper's predicted exponents.
+//
+// Usage:
+//
+//	hiqbench                  # run everything at full scale
+//	hiqbench -quick           # smaller sweeps (~1 minute)
+//	hiqbench -exp fig3,ex28   # selected experiments
+//	hiqbench -list            # list experiment IDs
+//	hiqbench -o report.md     # write the report to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ivmeps/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		seed    = flag.Int64("seed", 2020, "workload generator seed")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		outPath = flag.String("o", "", "write the report to this file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiqbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	var selected []experiments.Experiment
+	if *expFlag == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e := experiments.Find(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "hiqbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	fmt.Fprintf(out, "# IVM^ε experiment report\n\n")
+	fmt.Fprintf(out, "Generated %s; quick=%v seed=%d.\n\n", time.Now().Format(time.RFC3339), *quick, *seed)
+	for _, e := range selected {
+		fmt.Fprintf(os.Stderr, "running %s ...\n", e.ID)
+		start := time.Now()
+		res := e.Run(cfg)
+		fmt.Fprint(out, res.Render())
+		fmt.Fprintf(out, "_(experiment wall time: %v)_\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

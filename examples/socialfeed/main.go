@@ -1,0 +1,133 @@
+// Social feed: maintain "users following at least one trending topic" under
+// a high-churn stream of follow/unfollow and trend/untrend events.
+//
+// The query Q(User) = Follows(User, Topic), Trending(Topic) is Example 29's
+// Q(A) = R(A, B), S(B): free-connex and δ1-hierarchical. In dynamic mode
+// the engine partitions on the bound join variable Topic: popular topics
+// (heavy: many followers) are resolved at enumeration time through the
+// heavy indicator, while the long tail (light) is pre-joined. At ε = 1/2
+// both updates and delay cost O(N^(1/2)) amortized — the weakly Pareto-
+// optimal point for δ1-hierarchical queries (Proposition 10).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"ivmeps"
+)
+
+func main() {
+	const (
+		users   = 20000
+		topics  = 2000
+		follows = 50000
+		churn   = 20000
+	)
+	rng := rand.New(rand.NewSource(42))
+
+	q := ivmeps.MustParseQuery("Q(User) = Follows(User, Topic), Trending(Topic)")
+	e, err := ivmeps.New(q, ivmeps.Options{Epsilon: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Popularity is Zipf-like: a few viral topics, a long tail.
+	zipf := rand.NewZipf(rng, 1.2, 1, topics-1)
+	type edge struct{ u, t int64 }
+	seen := map[edge]bool{}
+	for len(seen) < follows {
+		ed := edge{rng.Int63n(users), int64(zipf.Uint64())}
+		if seen[ed] {
+			continue
+		}
+		seen[ed] = true
+		if err := e.Load("Follows", []int64{ed.u, ed.t}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	trending := map[int64]bool{}
+	for len(trending) < topics/20 {
+		t := int64(zipf.Uint64())
+		if !trending[t] {
+			trending[t] = true
+			if err := e.Load("Trending", []int64{t}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	start := time.Now()
+	if err := e.Build(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built: N=%d follow edges + trending flags in %v\n", e.N(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("users with a trending topic: %d\n\n", e.Count())
+
+	// Churn: follows/unfollows and topics trending in and out — including
+	// viral topics crossing the heavy/light boundary, which triggers minor
+	// rebalancing.
+	edges := make([]edge, 0, len(seen))
+	for ed := range seen {
+		edges = append(edges, ed)
+	}
+	start = time.Now()
+	applied := 0
+	for i := 0; i < churn; i++ {
+		switch rng.Intn(4) {
+		case 0: // new follow
+			ed := edge{rng.Int63n(users), int64(zipf.Uint64())}
+			if !seen[ed] {
+				seen[ed] = true
+				edges = append(edges, ed)
+				if err := e.Insert("Follows", []int64{ed.u, ed.t}); err != nil {
+					log.Fatal(err)
+				}
+				applied++
+			}
+		case 1: // unfollow
+			if len(edges) > 0 {
+				k := rng.Intn(len(edges))
+				ed := edges[k]
+				edges[k] = edges[len(edges)-1]
+				edges = edges[:len(edges)-1]
+				delete(seen, ed)
+				if err := e.Delete("Follows", []int64{ed.u, ed.t}); err != nil {
+					log.Fatal(err)
+				}
+				applied++
+			}
+		case 2: // topic starts trending
+			t := int64(zipf.Uint64())
+			if !trending[t] {
+				trending[t] = true
+				if err := e.Insert("Trending", []int64{t}); err != nil {
+					log.Fatal(err)
+				}
+				applied++
+			}
+		default: // topic stops trending
+			for t := range trending {
+				delete(trending, t)
+				if err := e.Delete("Trending", []int64{t}); err != nil {
+					log.Fatal(err)
+				}
+				applied++
+				break
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	st := e.Stats()
+	fmt.Printf("applied %d updates in %v (%.1fµs/update amortized)\n",
+		applied, elapsed.Round(time.Millisecond), float64(elapsed.Microseconds())/float64(applied))
+	fmt.Printf("rebalances: %d minor, %d major; view deltas: %d\n",
+		st.MinorRebalances, st.MajorRebalances, st.ViewDeltas)
+
+	start = time.Now()
+	count := e.Count()
+	fmt.Printf("\nusers with a trending topic now: %d (enumerated in %v)\n",
+		count, time.Since(start).Round(time.Millisecond))
+}

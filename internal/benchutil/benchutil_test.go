@@ -1,0 +1,108 @@
+package benchutil
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"ivmeps/internal/baseline"
+	"ivmeps/internal/naive"
+	"ivmeps/internal/query"
+	"ivmeps/internal/relation"
+	"ivmeps/internal/tuple"
+)
+
+func TestFitSlope(t *testing.T) {
+	// y = 3 x^2.
+	xs := []float64{10, 100, 1000, 10000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	if got := FitSlope(xs, ys); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("slope = %v, want 2", got)
+	}
+	// Constant: slope 0.
+	if got := FitSlope(xs, []float64{5, 5, 5, 5}); math.Abs(got) > 1e-9 {
+		t.Fatalf("slope = %v, want 0", got)
+	}
+	// Degenerate.
+	if got := FitSlope([]float64{1}, []float64{1}); !math.IsNaN(got) {
+		t.Fatalf("slope on one point = %v, want NaN", got)
+	}
+	if got := FitSlope([]float64{-1, -2}, []float64{1, 2}); !math.IsNaN(got) {
+		t.Fatalf("slope on non-positive xs = %v, want NaN", got)
+	}
+}
+
+func TestTimeAndTable(t *testing.T) {
+	d := Time(func() { time.Sleep(2 * time.Millisecond) })
+	if d < 2*time.Millisecond {
+		t.Fatalf("Time = %v", d)
+	}
+	tab := NewTable("n", "time", "slope")
+	tab.Add(100, 1500*time.Microsecond, 1.2345)
+	tab.Add(200, 2*time.Second, 2.0)
+	out := tab.String()
+	if !strings.Contains(out, "| n ") || !strings.Contains(out, "1.50ms") ||
+		!strings.Contains(out, "2.00s") || !strings.Contains(out, "1.23") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+}
+
+func TestCompactDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond:  "500ns",
+		1500 * time.Nanosecond: "1.5µs",
+		2 * time.Millisecond:   "2.00ms",
+		3 * time.Second:        "3.00s",
+	}
+	for d, want := range cases {
+		if got := compactDuration(d); got != want {
+			t.Errorf("compactDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestMeasureDelay(t *testing.T) {
+	q := query.MustParse("Q(A) = R(A, B), S(B)")
+	db := naive.Database{
+		"R": relation.New("R", tuple.NewSchema("A", "B")),
+		"S": relation.New("S", tuple.NewSchema("B")),
+	}
+	for i := int64(0); i < 50; i++ {
+		db["R"].Set(tuple.Tuple{i, i % 7}, 1)
+		db["S"].Set(tuple.Tuple{i % 7}, 1)
+	}
+	sys, err := baseline.NewIVMEps(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Preprocess(db); err != nil {
+		t.Fatal(err)
+	}
+	st := MeasureDelay(sys, 0)
+	if st.Tuples != 50 {
+		t.Fatalf("tuples = %d", st.Tuples)
+	}
+	if st.Max < st.P50 || st.P99 < st.P50 || st.Mean <= 0 || st.Total <= 0 {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+	limited := MeasureDelay(sys, 10)
+	if limited.Tuples != 10 {
+		t.Fatalf("limited tuples = %d", limited.Tuples)
+	}
+	// Empty stream.
+	empty, _ := baseline.NewIVMEps(query.MustParse("Q(A) = R(A, B), S(B)"), 0.5)
+	if err := empty.Preprocess(naive.Database{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := MeasureDelay(empty, 0); st.Tuples != 0 || st.Max != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ivmeps/internal/query"
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+)
+
+// The ablation switches change cost, never results: golden equivalence must
+// hold with aux views and/or aggregation pushdown disabled.
+func TestAblationsPreserveCorrectness(t *testing.T) {
+	queries := []string{
+		"Q(A, C) = R(A, B), S(B, C)",
+		"Q(A) = R(A, B), S(B)",
+		"Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)",
+	}
+	variants := []Options{
+		{Mode: viewtree.Dynamic, Epsilon: 0.5, NoAuxViews: true},
+		{Mode: viewtree.Dynamic, Epsilon: 0.5, NoPushdown: true},
+		{Mode: viewtree.Dynamic, Epsilon: 0.5, NoAuxViews: true, NoPushdown: true},
+		{Mode: viewtree.Static, Epsilon: 0, NoPushdown: true},
+	}
+	for _, qs := range queries {
+		q := query.MustParse(qs)
+		for vi, opts := range variants {
+			rng := rand.New(rand.NewSource(int64(1000 + vi)))
+			db := randomDB(q, rng, 25, 5)
+			e, err := New(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Preprocess(e, db); err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("%s variant=%d", qs, vi)
+			sameResult(t, label, e, db)
+			if opts.Mode != viewtree.Dynamic {
+				continue
+			}
+			names := q.RelationNames()
+			for step := 0; step < 60; step++ {
+				rel := names[rng.Intn(len(names))]
+				schema := db[rel].Schema()
+				tu := make(tuple.Tuple, len(schema))
+				for j := range tu {
+					tu[j] = rng.Int63n(5)
+				}
+				m := int64(1)
+				if rng.Intn(2) == 0 {
+					m = -1
+				}
+				applyBoth(t, e, db, rel, tu, m)
+			}
+			sameResult(t, label+" post-updates", e, db)
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+		}
+	}
+}
+
+// Without aux views the dynamic trees must not contain any view whose
+// schema equals its variable-order node's ancestors only (the AuxView
+// signature) beyond those NewVT itself creates.
+func TestNoAuxViewsShape(t *testing.T) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	with, err := viewtree.Build(q, viewtree.Dynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := viewtree.BuildOpts(q, viewtree.Dynamic, viewtree.BuildOptions{NoAuxViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Summarize().Views <= without.Summarize().Views {
+		t.Fatalf("aux views did not add views: with=%d without=%d",
+			with.Summarize().Views, without.Summarize().Views)
+	}
+	// Without aux views the heavy tree joins R and S directly (the static
+	// shape).
+	found := false
+	for _, tr := range without.Trees() {
+		if viewtree.Render(tr) == "V(B)[∃H{B}, R(A, B), S(B, C)]" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no-aux heavy tree shape wrong: %v", renderAll(without))
+	}
+}
+
+func renderAll(f *viewtree.Forest) []string {
+	var out []string
+	for _, tr := range f.Trees() {
+		out = append(out, viewtree.Render(tr))
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+// Package core implements the paper's evaluation engine for hierarchical
+// queries: preprocessing (Section 4), enumeration with the open/next/close
+// iterator model and the Union and Product algorithms (Section 5), and
+// dynamic maintenance with delta propagation, indicator updates, and minor
+// and major rebalancing (Section 6).
+//
+// The engine is parameterized by ε ∈ [0, 1]: for a query with static width
+// w and dynamic width δ it provides
+//
+//	preprocessing   O(N^(1+(w−1)ε))   (Theorem 2 / Proposition 21)
+//	delay           O(N^(1−ε))        (Proposition 22)
+//	amortized update O(N^(δε))        (Theorem 4 / Proposition 27)
+package core
+
+import (
+	"fmt"
+
+	"ivmeps/internal/query"
+	"ivmeps/internal/relation"
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Mode selects static or dynamic evaluation. Static engines reject
+	// Update calls but build fewer views. Default: Dynamic.
+	Mode viewtree.Mode
+	// Epsilon is the trade-off parameter ε ∈ [0, 1].
+	Epsilon float64
+	// PlainViewTree, when set, builds the single BuildVT view tree per
+	// component with no skew-aware partitioning (Section 4.1 only). This is
+	// the DynYannakakis / F-IVM style baseline: linear preprocessing for
+	// free-connex queries, but updates may cost O(N) per view and the
+	// enumeration of non-free-connex queries falls back to join work at
+	// enumeration time.
+	PlainViewTree bool
+
+	// NoAuxViews is an ablation switch: build the dynamic trees without
+	// the auxiliary views of Figure 8. Results stay correct, but delta
+	// propagation loses its constant-time sibling lookups (Lemma 47).
+	NoAuxViews bool
+	// NoPushdown is an ablation switch: materialize each view as a flat
+	// join of its children instead of pre-aggregating children onto the
+	// needed variables (the InsideOut step behind Proposition 21).
+	// Preprocessing degrades from O(N^(1+(w-1)ε)) toward the flat join
+	// cost.
+	NoPushdown bool
+}
+
+// Engine maintains the materialized view trees of a hierarchical query and
+// answers enumeration requests over them.
+type Engine struct {
+	orig *query.Query // user's query
+	q    *query.Query // occurrence-rewritten query (unique relation symbols)
+	opts Options
+
+	// occ maps an original relation symbol to its occurrence relations
+	// (footnote 2: updates to a repeated symbol are applied per occurrence).
+	occ map[string][]string
+
+	forest *viewtree.Forest
+	base   map[string]*relation.Relation // occurrence name -> base relation
+	views  map[string]*relation.Relation // view name -> materialized view
+	parts  map[viewtree.LightPartID]*relation.Partition
+	hrels  map[int]*relation.Relation // indicator ID -> materialized ∃H
+
+	// info caches per-node enumeration metadata.
+	info map[*viewtree.Node]*nodeInfo
+
+	// plans caches delta-propagation join plans per (view, child).
+	plans map[*viewtree.Node]map[*viewtree.Node]*updPlan
+
+	// Variable slots for enumeration bindings.
+	vars  tuple.Schema
+	slot  map[tuple.Variable]int
+	bind  []tuple.Value
+	bound []bool
+	ubind []tuple.Value // scratch bindings for update plans
+
+	// freeSlots are the slots of free(Q) in head order.
+	freeSlots []int
+
+	n int // current database size (sum of distinct-tuple counts, per original relation)
+	m int // threshold base M with ⌊M/4⌋ ≤ N < M
+
+	preprocessed bool
+
+	// work counts enumeration operations (cursor advances and lookups); a
+	// machine-independent proxy for the paper's delay metric.
+	work int64
+
+	// Stats counters.
+	stats Stats
+}
+
+// Stats reports engine activity counters.
+type Stats struct {
+	Updates          int64
+	MinorRebalances  int64
+	MajorRebalances  int64
+	DeltasApplied    int64 // single-tuple deltas applied to views
+	EnumeratedTuples int64
+}
+
+// nodeInfo caches per-node metadata for materialization and enumeration.
+type nodeInfo struct {
+	node      *viewtree.Node
+	schema    tuple.Schema
+	slots     []int            // binding slot per schema variable
+	freeBelow []int            // slots of free(Q) variables in the subtree
+	direct    bool             // freeBelow ⊆ schema: enumerate the node's relation directly
+	indChild  *viewtree.Node   // ∃H child, if any
+	kids      []*viewtree.Node // children excluding the ∃H child
+
+	// Structural context: the schema positions whose variables occur in the
+	// parent view's schema. These (and only these) are bound by ancestors
+	// when this node's cursor opens; using the runtime bound-set instead
+	// would wrongly absorb stale bindings left by sibling Union operands.
+	ctxPos    []int
+	ctxSlot   []int
+	ctxSchema tuple.Schema
+	freshPos  []int
+	freshSlot []int
+}
+
+// New creates an engine for a hierarchical query. The query must be
+// hierarchical, must have at least one atom with a non-empty schema, and
+// every atom must have distinct variables.
+func New(q *query.Query, opts Options) (*Engine, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.IsHierarchical() {
+		return nil, fmt.Errorf("core: query is not hierarchical: %s (the paper's algorithms require hierarchical input)", q)
+	}
+	if opts.Epsilon < 0 || opts.Epsilon > 1 {
+		return nil, fmt.Errorf("core: epsilon %v outside [0, 1]", opts.Epsilon)
+	}
+	e := &Engine{
+		orig:  q.Clone(),
+		opts:  opts,
+		occ:   map[string][]string{},
+		base:  map[string]*relation.Relation{},
+		views: map[string]*relation.Relation{},
+		parts: map[viewtree.LightPartID]*relation.Partition{},
+		hrels: map[int]*relation.Relation{},
+		info:  map[*viewtree.Node]*nodeInfo{},
+		plans: map[*viewtree.Node]map[*viewtree.Node]*updPlan{},
+		slot:  map[tuple.Variable]int{},
+		m:     1,
+	}
+	// Occurrence rewriting for repeated relation symbols.
+	e.q = q.Clone()
+	if q.HasRepeatedSymbols() {
+		seen := map[string]int{}
+		for i := range e.q.Atoms {
+			name := e.q.Atoms[i].Rel
+			seen[name]++
+			occName := fmt.Sprintf("%s__occ%d", name, seen[name])
+			e.q.Atoms[i].Rel = occName
+			e.occ[name] = append(e.occ[name], occName)
+		}
+	} else {
+		for _, a := range e.q.Atoms {
+			e.occ[a.Rel] = append(e.occ[a.Rel], a.Rel)
+		}
+	}
+
+	var forest *viewtree.Forest
+	var err error
+	if opts.PlainViewTree {
+		forest, err = viewtree.BuildVTOnly(e.q, opts.Mode)
+	} else {
+		forest, err = viewtree.BuildOpts(e.q, opts.Mode, viewtree.BuildOptions{NoAuxViews: opts.NoAuxViews})
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.forest = forest
+
+	// Base relations, one per occurrence.
+	for _, a := range e.q.Atoms {
+		if _, ok := e.base[a.Rel]; !ok {
+			e.base[a.Rel] = relation.New(a.Rel, a.Vars)
+		}
+	}
+	// Partitions for every light part.
+	for id, lp := range forest.LightParts {
+		e.parts[id] = relation.NewPartition(e.base[lp.Rel], lp.Keys, lp.Name)
+	}
+	// ∃H relations.
+	for _, ind := range forest.Indicators {
+		e.hrels[ind.ID] = relation.New(ind.Name, ind.Keys)
+	}
+
+	// Variable slots.
+	e.vars = e.q.Vars()
+	e.bind = make([]tuple.Value, len(e.vars))
+	e.bound = make([]bool, len(e.vars))
+	e.ubind = make([]tuple.Value, len(e.vars))
+	for i, v := range e.vars {
+		e.slot[v] = i
+	}
+	for _, v := range e.q.Free {
+		e.freeSlots = append(e.freeSlots, e.slot[v])
+	}
+
+	// Node metadata for all trees (main + indicator).
+	for _, t := range forest.Trees() {
+		e.buildInfo(t)
+	}
+	for _, ind := range forest.Indicators {
+		e.buildInfo(ind.All)
+		e.buildInfo(ind.L)
+	}
+	return e, nil
+}
+
+func (e *Engine) buildInfo(n *viewtree.Node) *nodeInfo {
+	if inf, ok := e.info[n]; ok {
+		return inf
+	}
+	inf := &nodeInfo{node: n, schema: n.Schema}
+	e.info[n] = inf
+	for _, v := range n.Schema {
+		inf.slots = append(inf.slots, e.slot[v])
+	}
+	freeBelow := map[int]bool{}
+	var walk func(m *viewtree.Node)
+	walk = func(m *viewtree.Node) {
+		if m.Kind == viewtree.IndicatorRef {
+			return
+		}
+		for _, v := range m.Schema {
+			if e.q.Free.Contains(v) {
+				freeBelow[e.slot[v]] = true
+			}
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	for _, s := range e.freeSlots {
+		if freeBelow[s] {
+			inf.freeBelow = append(inf.freeBelow, s)
+		}
+	}
+	inf.direct = true
+	schemaSlots := map[int]bool{}
+	for _, s := range inf.slots {
+		schemaSlots[s] = true
+	}
+	for _, s := range inf.freeBelow {
+		if !schemaSlots[s] {
+			inf.direct = false
+		}
+	}
+	for _, c := range n.Children {
+		if c.Kind == viewtree.IndicatorRef {
+			inf.indChild = c
+		} else {
+			inf.kids = append(inf.kids, c)
+		}
+		e.buildInfo(c)
+	}
+	if len(n.Children) == 0 {
+		inf.direct = true
+	}
+	for i, v := range n.Schema {
+		if n.Parent != nil && n.Parent.Schema.Contains(v) {
+			inf.ctxPos = append(inf.ctxPos, i)
+			inf.ctxSlot = append(inf.ctxSlot, inf.slots[i])
+			inf.ctxSchema = append(inf.ctxSchema, v)
+		} else {
+			inf.freshPos = append(inf.freshPos, i)
+			inf.freshSlot = append(inf.freshSlot, inf.slots[i])
+		}
+	}
+	return inf
+}
+
+// relOf returns the materialized relation backing a node.
+func (e *Engine) relOf(n *viewtree.Node) *relation.Relation {
+	switch n.Kind {
+	case viewtree.Atom:
+		return e.base[n.Rel]
+	case viewtree.LightAtom:
+		return e.parts[viewtree.LightPartID{Rel: n.Rel, Key: schemaKey(n.Keys)}].Light()
+	case viewtree.IndicatorRef:
+		return e.hrels[n.Ind.ID]
+	default:
+		return e.views[n.Name]
+	}
+}
+
+func schemaKey(s tuple.Schema) string {
+	out := ""
+	for i, v := range s {
+		if i > 0 {
+			out += ","
+		}
+		out += string(v)
+	}
+	return out
+}
+
+// Query returns the engine's (original) query.
+func (e *Engine) Query() *query.Query { return e.orig.Clone() }
+
+// Epsilon returns the trade-off parameter.
+func (e *Engine) Epsilon() float64 { return e.opts.Epsilon }
+
+// Mode returns the evaluation mode.
+func (e *Engine) Mode() viewtree.Mode { return e.opts.Mode }
+
+// N returns the current database size (sum of distinct tuple counts over
+// the original relations).
+func (e *Engine) N() int { return e.n }
+
+// ThresholdBase returns M, the rebalancing threshold base with
+// ⌊M/4⌋ ≤ N < M (Section 6.2).
+func (e *Engine) ThresholdBase() int { return e.m }
+
+// Theta returns the current partition threshold θ = M^ε.
+func (e *Engine) Theta() float64 { return relation.Threshold(e.m, e.opts.Epsilon) }
+
+// Stats returns activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Work returns the cumulative count of enumeration operations (cursor
+// advances and multiplicity lookups). Differences between successive reads
+// measure per-tuple delay in machine-independent units.
+func (e *Engine) Work() int64 { return e.work }
+
+// Forest exposes the constructed view trees (read-only; for inspection and
+// tests).
+func (e *Engine) Forest() *viewtree.Forest { return e.forest }
+
+// BaseRelation returns the engine's materialized copy of an original
+// relation (its first occurrence), or nil. Callers must not modify it.
+func (e *Engine) BaseRelation(name string) *relation.Relation {
+	occ := e.occ[name]
+	if len(occ) == 0 {
+		return nil
+	}
+	return e.base[occ[0]]
+}
+
+// recomputeN refreshes the database size from the base relations, counting
+// each original relation once.
+func (e *Engine) recomputeN() {
+	n := 0
+	for _, occ := range e.occ {
+		n += e.base[occ[0]].Size()
+	}
+	e.n = n
+}

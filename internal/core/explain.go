@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ivmeps/internal/query"
+	"ivmeps/internal/viewtree"
+)
+
+// Explain returns a human-readable description of the engine's evaluation
+// strategy: the query's classification and widths, the cost guarantees at
+// the engine's ε, and the constructed view trees, partitions, and
+// indicators.
+func (e *Engine) Explain() string {
+	var b strings.Builder
+	c := query.Classify(e.orig)
+	fmt.Fprintf(&b, "query: %s\n", e.orig)
+	fmt.Fprintf(&b, "class: hierarchical=%v q-hierarchical=%v free-connex=%v w=%d δ=%d\n",
+		c.Hierarchical, c.QHierarchical, c.FreeConnex, c.StaticWidth, c.DynamicWidth)
+	w, d := float64(c.StaticWidth), float64(c.DynamicWidth)
+	eps := e.opts.Epsilon
+	fmt.Fprintf(&b, "mode: %v, ε = %v\n", e.opts.Mode, eps)
+	fmt.Fprintf(&b, "guarantees: preprocessing O(N^%.2f), delay O(N^%.2f)", 1+(w-1)*eps, 1-eps)
+	if e.opts.Mode == viewtree.Dynamic {
+		fmt.Fprintf(&b, ", amortized update O(N^%.2f)", d*eps)
+	}
+	b.WriteString("\n")
+	if e.preprocessed {
+		fmt.Fprintf(&b, "state: N = %d, M = %d, θ = M^ε = %.1f\n", e.n, e.m, e.Theta())
+	}
+
+	for ci, comp := range e.forest.Components {
+		fmt.Fprintf(&b, "component %d (%d view tree(s)):\n", ci+1, len(comp.Trees))
+		for _, t := range comp.Trees {
+			fmt.Fprintf(&b, "  %s\n", viewtree.Render(t))
+		}
+	}
+	if len(e.forest.Indicators) > 0 {
+		fmt.Fprintf(&b, "heavy/light indicators:\n")
+		for _, ind := range e.forest.Indicators {
+			fmt.Fprintf(&b, "  ∃H on %s over %s\n", ind.Keys, strings.Join(ind.Rels, ", "))
+		}
+	}
+	if len(e.forest.LightParts) > 0 {
+		var parts []string
+		for _, lp := range e.forest.LightParts {
+			parts = append(parts, lp.Name)
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(&b, "light parts: %s\n", strings.Join(parts, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"ivmeps/internal/naive"
+	"ivmeps/internal/query"
+	"ivmeps/internal/relation"
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+)
+
+// Preprocess loads the initial database and materializes every view
+// (Proposition 21): the light parts are computed by a strict partition with
+// threshold θ = M^ε, the indicator trees and heavy indicators are built,
+// and all view trees are materialized bottom-up. db maps original relation
+// names to relations; missing relations start empty.
+func Preprocess(e *Engine, db naive.Database) error {
+	if e.preprocessed {
+		return fmt.Errorf("core: engine already preprocessed")
+	}
+	for name, src := range db {
+		occ, ok := e.occ[name]
+		if !ok {
+			return fmt.Errorf("core: relation %s not in query %s", name, e.orig)
+		}
+		var loadErr error
+		src.ForEach(func(t tuple.Tuple, m int64) {
+			if m <= 0 {
+				loadErr = fmt.Errorf("core: relation %s: tuple %v has non-positive multiplicity %d", name, t, m)
+				return
+			}
+			for _, o := range occ {
+				if len(t) != len(e.base[o].Schema()) {
+					loadErr = fmt.Errorf("core: relation %s: tuple %v does not match schema %v", name, t, e.base[o].Schema())
+					return
+				}
+				e.base[o].MustAdd(t, m)
+			}
+		})
+		if loadErr != nil {
+			return loadErr
+		}
+	}
+	e.recomputeN()
+	// The preprocessing stage sets M = 2N + 1, establishing ⌊M/4⌋ ≤ N < M
+	// (proof of Proposition 27).
+	e.m = 2*e.n + 1
+	e.materializeAll()
+	e.preprocessed = true
+	return nil
+}
+
+// materializeAll (re)computes all derived state from the base relations:
+// strict light parts for the current θ, indicator views, heavy indicators,
+// and all main view trees. It is used by preprocessing and by major
+// rebalancing (Figure 20).
+func (e *Engine) materializeAll() {
+	theta := e.Theta()
+	for _, p := range e.parts {
+		p.Rebuild(theta)
+	}
+	for _, ind := range e.forest.Indicators {
+		e.materializeTree(ind.All)
+		e.materializeTree(ind.L)
+		e.materializeH(ind)
+	}
+	for _, t := range e.forest.Trees() {
+		e.materializeTree(t)
+	}
+	e.buildEnumIndexes()
+}
+
+// materializeTree computes every view of a tree bottom-up. Leaves (base
+// relations, light parts, heavy indicators) are already materialized.
+func (e *Engine) materializeTree(n *viewtree.Node) {
+	for _, c := range n.Children {
+		e.materializeTree(c)
+	}
+	if n.Kind != viewtree.View {
+		return
+	}
+	e.views[n.Name] = e.joinChildren(n)
+}
+
+// joinChildren evaluates V(S) = C1(S1), ..., Ck(Sk) over the children's
+// materialized relations. Each child is first aggregated onto the variables
+// that the view's schema or some sibling actually needs — the InsideOut
+// push-down the paper uses to keep materialization within the Prop 21
+// bounds (e.g. the static heavy tree V(B) = ∃H(B), R(A,B), S(B,C) is
+// computed as ∃H ⋈ (Σ_A R) ⋈ (Σ_C S) in linear time, not as the flat join).
+func (e *Engine) joinChildren(n *viewtree.Node) *relation.Relation {
+	sub := &query.Query{Name: n.Name, Free: n.Schema}
+	db := naive.Database{}
+	for i, c := range n.Children {
+		needed := n.Schema.Clone()
+		for j, s := range n.Children {
+			if j != i {
+				needed = needed.Union(s.Schema)
+			}
+		}
+		keep := c.Schema.Intersect(needed)
+		rel := e.relOf(c)
+		name := c.Name
+		if !e.opts.NoPushdown && len(keep) < len(c.Schema) {
+			name = fmt.Sprintf("%s#agg%d", c.Name, i)
+			rel = aggregateOnto(name, rel, keep)
+		}
+		if e.opts.NoPushdown {
+			keep = c.Schema
+		}
+		sub.Atoms = append(sub.Atoms, query.Atom{Rel: name, Vars: keep})
+		db[name] = rel
+	}
+	res, err := naive.Eval(sub, db)
+	if err != nil {
+		panic(fmt.Sprintf("core: materialize %s: %v", n.Name, err))
+	}
+	return res
+}
+
+// aggregateOnto projects rel onto keep, summing multiplicities; linear in
+// |rel|.
+func aggregateOnto(name string, rel *relation.Relation, keep tuple.Schema) *relation.Relation {
+	out := relation.New(name, keep)
+	proj := tuple.MustProjection(rel.Schema(), keep)
+	rel.ForEach(func(t tuple.Tuple, m int64) {
+		out.MustAdd(proj.Apply(t), m)
+	})
+	return out
+}
+
+// materializeH computes the heavy indicator ∃H = ∃All ⋈ ∄L: the keys
+// present in the All view whose light-view support is empty, with set
+// semantics (Figure 10, line 7).
+func (e *Engine) materializeH(ind *viewtree.Indicator) {
+	h := e.hrels[ind.ID]
+	h.Clear()
+	all := e.relOf(ind.All)
+	l := e.relOf(ind.L)
+	all.ForEach(func(t tuple.Tuple, m int64) {
+		if l.Mult(t) == 0 {
+			h.MustAdd(t, 1)
+		}
+	})
+}
+
+// buildEnumIndexes creates, ahead of enumeration, the secondary indexes the
+// iterators need: every child view is indexed on the variables it shares
+// with its parent's schema, and every tree root on the variables shared
+// with its grounding keys.
+func (e *Engine) buildEnumIndexes() {
+	var walk func(n *viewtree.Node)
+	walk = func(n *viewtree.Node) {
+		for _, c := range n.Children {
+			if c.Kind == viewtree.IndicatorRef {
+				continue
+			}
+			shared := c.Schema.Intersect(n.Schema)
+			if len(shared) > 0 && len(shared) < len(c.Schema) {
+				e.relOf(c).EnsureIndex(shared)
+			}
+			walk(c)
+		}
+	}
+	for _, t := range e.forest.Trees() {
+		walk(t)
+	}
+}

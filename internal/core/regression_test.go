@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ivmeps/internal/naive"
+	"ivmeps/internal/query"
+	"ivmeps/internal/viewtree"
+)
+
+// TestUnionBindingRegression pins two historical bugs in the enumeration
+// machinery: (a) suspended Product iterators resuming with bindings
+// clobbered by sibling Union operands, and (b) grounded lookups absorbing a
+// stale binding of the summed heavy variable as a context restriction.
+// Small random instances at ε = 0 (everything heavy) exercise dense bucket
+// overlap in both static and dynamic trees.
+func TestUnionBindingRegression(t *testing.T) {
+	queries := []string{
+		"Q(A, C) = R(A, B), S(B, C)",
+		"Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)",
+	}
+	for _, qs := range queries {
+		q := query.MustParse(qs)
+		for _, mode := range []viewtree.Mode{viewtree.Static, viewtree.Dynamic} {
+			for seed := int64(0); seed < 40; seed++ {
+				for _, n := range []int{4, 8, 12} {
+					rng := rand.New(rand.NewSource(seed))
+					db := randomDB(q, rng, n, 3)
+					e, err := New(q, Options{Mode: mode, Epsilon: 0})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := Preprocess(e, db); err != nil {
+						t.Fatal(err)
+					}
+					label := fmt.Sprintf("%s %v seed=%d n=%d", qs, mode, seed, n)
+					sameResult(t, label, e, naive.Database(db))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"fmt"
+
+	"ivmeps/internal/relation"
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+)
+
+// The maintenance machinery of Section 6: delta propagation along
+// leaf-to-root paths (Apply, Figure 17), indicator maintenance
+// (UpdateIndTree, Figure 18; UpdateTrees, Figure 19), and the rebalancing
+// trigger OnUpdate (Figures 20–22).
+
+// delta is a small relation of weighted tuples over a schema.
+type delta struct {
+	schema tuple.Schema
+	rows   []weighted
+}
+
+type weighted struct {
+	t tuple.Tuple
+	m int64
+}
+
+func singleDelta(schema tuple.Schema, t tuple.Tuple, m int64) *delta {
+	return &delta{schema: schema, rows: []weighted{{t: t.Clone(), m: m}}}
+}
+
+// Update applies a single-tuple update δR = {t → m} to relation rel:
+// m > 0 inserts, m < 0 deletes. Deletes that exceed the stored multiplicity
+// are rejected. This is the paper's OnUpdate trigger (Figure 22), including
+// minor and major rebalancing; the amortized cost is O(N^(δε))
+// (Proposition 27).
+func (e *Engine) Update(rel string, t tuple.Tuple, m int64) error {
+	if !e.preprocessed {
+		return fmt.Errorf("core: Update before Preprocess")
+	}
+	if e.opts.Mode != viewtree.Dynamic {
+		return fmt.Errorf("core: engine built in static mode; rebuild with Mode: Dynamic for updates")
+	}
+	occ, ok := e.occ[rel]
+	if !ok {
+		return fmt.Errorf("core: relation %s not in query %s", rel, e.orig)
+	}
+	if m == 0 {
+		return nil
+	}
+	// Validate against the first occurrence (all occurrences are identical).
+	if cur := e.base[occ[0]].Mult(t); cur+m < 0 {
+		return &relation.ErrNegative{Relation: rel, Tuple: t.Clone(), Have: cur, Delta: m}
+	}
+	// Footnote 2: an update to a repeated relation symbol is a sequence of
+	// updates to each occurrence.
+	for _, o := range occ {
+		e.onUpdate(o, t, m)
+	}
+	e.stats.Updates++
+	return nil
+}
+
+// onUpdate is Figure 22 for one occurrence relation.
+func (e *Engine) onUpdate(rel string, t tuple.Tuple, m int64) {
+	e.updateTrees(rel, t, m)
+	e.recomputeN()
+	switch {
+	case e.n >= e.m:
+		// Double M and recompute (Figure 22, lines 2–4).
+		e.m = 2 * e.m
+		e.majorRebalance()
+	case e.n < e.m/4:
+		// Halve M and recompute (lines 5–7). ⌊M/2⌋ − 1 keeps N < M.
+		e.m = e.m/2 - 1
+		if e.m < 1 {
+			e.m = 1
+		}
+		e.majorRebalance()
+	default:
+		// Minor rebalancing checks per partition of rel (lines 9–15).
+		theta := e.Theta()
+		for id, p := range e.parts {
+			if id.Rel != rel {
+				continue
+			}
+			key := p.KeyOf(t)
+			lightDeg := float64(p.LightDegree(key))
+			fullDeg := float64(p.Degree(key))
+			if lightDeg == 0 && fullDeg > 0 && fullDeg < 0.5*theta {
+				e.minorRebalance(p, key, true)
+			} else if lightDeg >= 1.5*theta {
+				e.minorRebalance(p, key, false)
+			}
+		}
+	}
+}
+
+// updateTrees is UpdateTrees (Figure 19).
+func (e *Engine) updateTrees(rel string, t tuple.Tuple, m int64) {
+	base := e.base[rel]
+	d := singleDelta(base.Schema(), t, m)
+
+	// Pre-update routing decision for the light parts (Figure 19 line 10:
+	// the update belongs to the light part if its key is new or light).
+	type route struct {
+		p       *relation.Partition
+		toLight bool
+		key     tuple.Tuple
+	}
+	var routes []route
+	for id, p := range e.parts {
+		if id.Rel != rel {
+			continue
+		}
+		key := p.KeyOf(t)
+		toLight := p.Degree(key) == 0 || p.IsLight(key)
+		routes = append(routes, route{p: p, toLight: toLight, key: key})
+	}
+
+	// Capture the All-root multiplicities at the update's keys before the
+	// update (Figure 19 line 5).
+	type indState struct {
+		ind    *viewtree.Indicator
+		key    tuple.Tuple
+		before int64
+	}
+	var inds []indState
+	for _, ind := range e.forest.Indicators {
+		if !containsRel(ind.Rels, rel) {
+			continue
+		}
+		key := tuple.Restrict(t, base.Schema(), ind.Keys)
+		inds = append(inds, indState{ind: ind, key: key, before: e.relOf(ind.All).Mult(key)})
+	}
+
+	// Apply δR to the base relation once, then propagate through every
+	// main tree and every affected All tree (Figure 19 lines 1 and 6).
+	base.MustAdd(t, m)
+	for _, tr := range e.forest.Trees() {
+		e.propagate(tr, viewtree.Atom, rel, nil, d)
+	}
+	for _, is := range inds {
+		e.propagate(is.ind.All, viewtree.Atom, rel, nil, d)
+		// δ(∃H) from the All change (lines 7–9).
+		if dh := e.refreshH(is.ind, is.key); dh != 0 {
+			e.propagateIndicator(is.ind, is.key, dh)
+		}
+	}
+
+	// Route to the light parts (lines 10–14).
+	for _, r := range routes {
+		if !r.toLight {
+			continue
+		}
+		r.p.Light().MustAdd(t, m)
+		for _, tr := range e.forest.Trees() {
+			e.propagate(tr, viewtree.LightAtom, rel, r.p.Key(), d)
+		}
+		// The light indicator tree and the resulting ∃H change.
+		for _, ind := range e.forest.Indicators {
+			if !containsRel(ind.Rels, rel) || !ind.Keys.Equal(r.p.Key()) {
+				continue
+			}
+			e.propagate(ind.L, viewtree.LightAtom, rel, r.p.Key(), d)
+			key := tuple.Restrict(t, base.Schema(), ind.Keys)
+			if dh := e.refreshH(ind, key); dh != 0 {
+				e.propagateIndicator(ind, key, dh)
+			}
+		}
+	}
+}
+
+func containsRel(rels []string, r string) bool {
+	for _, x := range rels {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// refreshH re-derives the heavy indicator bit ∃H(key) = ∃All(key) ∧ ∄L(key)
+// and returns the support change {−1, 0, +1} (UpdateIndTree, Figure 18,
+// specialized to H = All ⋈ ∄L).
+func (e *Engine) refreshH(ind *viewtree.Indicator, key tuple.Tuple) int64 {
+	h := e.hrels[ind.ID]
+	want := e.relOf(ind.All).Mult(key) != 0 && e.relOf(ind.L).Mult(key) == 0
+	have := h.Mult(key) != 0
+	switch {
+	case want && !have:
+		h.MustAdd(key, 1)
+		return 1
+	case !want && have:
+		h.MustAdd(key, -1)
+		return -1
+	}
+	return 0
+}
+
+// propagateIndicator pushes a δ(∃H) = {key → dh} change through every main
+// tree containing a reference to the indicator (Figure 19 lines 9 and 14).
+func (e *Engine) propagateIndicator(ind *viewtree.Indicator, key tuple.Tuple, dh int64) {
+	d := singleDelta(ind.Keys, key, dh)
+	for _, tr := range e.forest.Trees() {
+		e.propagateAt(tr, func(n *viewtree.Node) bool {
+			return n.Kind == viewtree.IndicatorRef && n.Ind == ind
+		}, d)
+	}
+}
+
+// propagate pushes a delta at the leaves of kind/rel/keys through one tree.
+func (e *Engine) propagate(tr *viewtree.Node, kind viewtree.Kind, rel string, keys tuple.Schema, d *delta) {
+	e.propagateAt(tr, func(n *viewtree.Node) bool {
+		if n.Kind != kind || n.Rel != rel {
+			return false
+		}
+		if kind == viewtree.LightAtom && !n.Keys.Equal(keys) {
+			return false
+		}
+		return true
+	}, d)
+}
+
+// propagateAt propagates a delta from every matching leaf to the root of
+// tr, maintaining each view on the path (Apply, Figure 17). The leaf's own
+// relation must already be updated.
+func (e *Engine) propagateAt(tr *viewtree.Node, match func(*viewtree.Node) bool, d *delta) {
+	var leaves []*viewtree.Node
+	var find func(n *viewtree.Node)
+	find = func(n *viewtree.Node) {
+		if match(n) {
+			leaves = append(leaves, n)
+		}
+		for _, c := range n.Children {
+			find(c)
+		}
+	}
+	find(tr)
+	for _, leaf := range leaves {
+		cur := d
+		for n := leaf.Parent; n != nil && len(cur.rows) > 0; n = n.Parent {
+			cur = e.applyToView(n, leaf, cur)
+			leaf = n
+		}
+	}
+}
+
+// applyToView computes δV = V1, ..., δVj, ..., Vk for the view at n given
+// the delta at child j, applies it to V's materialization, and returns it
+// (Figure 17, lines 5–10). The sibling join runs over a cached plan: for
+// each delta row, every sibling is probed through an index on the
+// variables bound so far, so a heavy-tree view whose aux-view siblings
+// share the delta's schema costs one lookup per sibling (the constant-time
+// propagation of Lemma 47).
+func (e *Engine) applyToView(n *viewtree.Node, child *viewtree.Node, d *delta) *delta {
+	p := e.updatePlan(n, child)
+	out := p.run(e, d)
+
+	// Apply δV to the materialized view.
+	v := e.views[n.Name]
+	for _, w := range out.rows {
+		v.MustAdd(w.t, w.m)
+		e.stats.DeltasApplied++
+	}
+	return out
+}
+
+// updPlan is a cached delta-propagation step for one (view, child) pair.
+type updPlan struct {
+	deltaSlots []int // scratch slot per delta-schema position
+	steps      []updStep
+	outSlots   []int // scratch slot per parent-schema position
+}
+
+// updStep probes one sibling of the delta's child.
+type updStep struct {
+	node      *viewtree.Node
+	ixSchema  tuple.Schema // sibling-schema vars bound before this step
+	keySlots  []int        // scratch slots providing the index key
+	freshPos  []int        // sibling-schema positions newly bound here
+	freshSlot []int
+	full      bool // all sibling vars already bound: plain multiplicity probe
+}
+
+func (e *Engine) updatePlan(n *viewtree.Node, child *viewtree.Node) *updPlan {
+	byChild, ok := e.plans[n]
+	if !ok {
+		byChild = map[*viewtree.Node]*updPlan{}
+		e.plans[n] = byChild
+	}
+	if p, ok := byChild[child]; ok {
+		return p
+	}
+	p := &updPlan{}
+	for _, v := range child.Schema {
+		p.deltaSlots = append(p.deltaSlots, e.slot[v])
+	}
+	bound := map[tuple.Variable]bool{}
+	for _, v := range child.Schema {
+		bound[v] = true
+	}
+	// Greedy sibling order: most already-bound variables first.
+	var rest []*viewtree.Node
+	for _, c := range n.Children {
+		if c != child {
+			rest = append(rest, c)
+		}
+	}
+	for len(rest) > 0 {
+		best, bestScore := 0, -1<<30
+		for i, c := range rest {
+			score := 0
+			for _, v := range c.Schema {
+				if bound[v] {
+					score++
+				}
+			}
+			score = score*100 - len(c.Schema)
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		c := rest[best]
+		rest = append(rest[:best], rest[best+1:]...)
+		st := updStep{node: c}
+		for pos, v := range c.Schema {
+			if bound[v] {
+				st.ixSchema = append(st.ixSchema, v)
+				st.keySlots = append(st.keySlots, e.slot[v])
+			} else {
+				st.freshPos = append(st.freshPos, pos)
+				st.freshSlot = append(st.freshSlot, e.slot[v])
+				bound[v] = true
+			}
+		}
+		st.full = len(st.freshPos) == 0
+		p.steps = append(p.steps, st)
+	}
+	for _, v := range n.Schema {
+		p.outSlots = append(p.outSlots, e.slot[v])
+	}
+	byChild[child] = p
+	return p
+}
+
+// run evaluates δV = δchild ⋈ siblings over the plan, aggregating the
+// (possibly signed) output rows by tuple.
+func (p *updPlan) run(e *Engine, d *delta) *delta {
+	sums := map[tuple.Key]int64{}
+	order := make([]tuple.Tuple, 0, len(d.rows))
+	scratch := e.ubind
+	outT := make(tuple.Tuple, len(p.outSlots))
+
+	var rec func(i int, mult int64)
+	rec = func(i int, mult int64) {
+		if i == len(p.steps) {
+			for k, s := range p.outSlots {
+				outT[k] = scratch[s]
+			}
+			key := tuple.EncodeKey(outT)
+			if _, seen := sums[key]; !seen {
+				order = append(order, outT.Clone())
+			}
+			sums[key] += mult
+			return
+		}
+		st := &p.steps[i]
+		rel := e.relOf(st.node)
+		key := make(tuple.Tuple, len(st.keySlots))
+		for k, s := range st.keySlots {
+			key[k] = scratch[s]
+		}
+		if st.full {
+			if m := rel.Mult(key); m != 0 {
+				rec(i+1, mult*m)
+			}
+			return
+		}
+		emit := func(t tuple.Tuple, m int64) {
+			for k, pos := range st.freshPos {
+				scratch[st.freshSlot[k]] = t[pos]
+			}
+			rec(i+1, mult*m)
+		}
+		if len(st.ixSchema) == 0 {
+			rel.ForEach(emit)
+		} else {
+			rel.EnsureIndex(st.ixSchema).ForEachMatch(key, emit)
+		}
+	}
+	for _, w := range d.rows {
+		for k, s := range p.deltaSlots {
+			scratch[s] = w.t[k]
+		}
+		rec(0, w.m)
+	}
+	out := &delta{rows: make([]weighted, 0, len(order))}
+	for _, t := range order {
+		if m := sums[tuple.EncodeKey(t)]; m != 0 {
+			out.rows = append(out.rows, weighted{t: t, m: m})
+		}
+	}
+	return out
+}
+
+// majorRebalance is MajorRebalancing (Figure 20): strictly repartition all
+// light parts with the new threshold M^ε and recompute every view. The
+// amortized cost is O(N^((w−1)ε)) per update (Proposition 25 and the proof
+// of Proposition 27).
+func (e *Engine) majorRebalance() {
+	e.materializeAll()
+	e.stats.MajorRebalances++
+}
+
+// minorRebalance is MinorRebalancing (Figure 21): move the tuples of one
+// partition key into (insert=true) or out of (insert=false) the light part
+// of p's relation, propagating each moved tuple like a light-part update
+// and refreshing the affected indicators.
+func (e *Engine) minorRebalance(p *relation.Partition, key tuple.Tuple, insert bool) {
+	base := p.Relation()
+	ix := base.Index(p.Key())
+	var moved []weighted
+	ix.ForEachMatch(key, func(t tuple.Tuple, m int64) {
+		cnt := m
+		if !insert {
+			cnt = -m
+		}
+		moved = append(moved, weighted{t: t.Clone(), m: cnt})
+	})
+	light := p.Light()
+	for _, w := range moved {
+		light.MustAdd(w.t, w.m)
+	}
+	// Propagate each moved tuple through the main trees' light leaves and
+	// the indicator light trees (Figure 21, lines 4–7).
+	for _, w := range moved {
+		d := singleDelta(base.Schema(), w.t, w.m)
+		for _, tr := range e.forest.Trees() {
+			e.propagate(tr, viewtree.LightAtom, base.Name(), p.Key(), d)
+		}
+		for _, ind := range e.forest.Indicators {
+			if !containsRel(ind.Rels, base.Name()) || !ind.Keys.Equal(p.Key()) {
+				continue
+			}
+			e.propagate(ind.L, viewtree.LightAtom, base.Name(), p.Key(), d)
+			ikey := tuple.Restrict(w.t, base.Schema(), ind.Keys)
+			if dh := e.refreshH(ind, ikey); dh != 0 {
+				e.propagateIndicator(ind, ikey, dh)
+			}
+		}
+	}
+	e.stats.MinorRebalances++
+}
+
+// CheckInvariants verifies the engine's structural invariants: the size
+// invariant ⌊M/4⌋ ≤ N < M, the loose partition conditions of
+// Definition 11, and the heavy indicator derivation. Intended for tests.
+func (e *Engine) CheckInvariants() error {
+	if e.n >= e.m || e.n < e.m/4 {
+		return fmt.Errorf("core: size invariant violated: N=%d M=%d", e.n, e.m)
+	}
+	theta := e.Theta()
+	for id, p := range e.parts {
+		if !p.CheckLoose(theta) {
+			return fmt.Errorf("core: loose partition conditions violated for %s on %s (θ=%v)", id.Rel, id.Key, theta)
+		}
+	}
+	for _, ind := range e.forest.Indicators {
+		h := e.hrels[ind.ID]
+		all := e.relOf(ind.All)
+		l := e.relOf(ind.L)
+		bad := false
+		all.ForEach(func(t tuple.Tuple, _ int64) {
+			want := l.Mult(t) == 0
+			if (h.Mult(t) != 0) != want {
+				bad = true
+			}
+		})
+		h.ForEach(func(t tuple.Tuple, m int64) {
+			if m != 1 || all.Mult(t) == 0 || l.Mult(t) != 0 {
+				bad = true
+			}
+		})
+		if bad {
+			return fmt.Errorf("core: heavy indicator %s inconsistent", ind.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 2020} }
+
+// TestAllExperimentsRun executes every experiment in quick mode and checks
+// structural sanity of the outputs. Exponent-precision checks are reserved
+// for the full-scale harness (cmd/hiqbench); here we assert direction and
+// invariants, which are stable even under test-machine timer noise.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			res := exp.Run(quickCfg())
+			if res.ID != exp.ID {
+				t.Fatalf("result ID %q != %q", res.ID, exp.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("no tables")
+			}
+			out := res.Render()
+			if !strings.Contains(out, "##") || len(out) < 100 {
+				t.Fatalf("render too small:\n%s", out)
+			}
+			for _, c := range res.Checks {
+				if math.IsNaN(c.Measured) {
+					t.Errorf("check %q measured NaN", c.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestFig2LandscapeExact(t *testing.T) {
+	res := Fig2Landscape(quickCfg())
+	for _, c := range res.Checks {
+		if c.Name == "Props 3, 6, 7, 17 violations over catalog" && c.Measured != 0 {
+			t.Fatalf("landscape violations: %v", c.Measured)
+		}
+	}
+}
+
+func TestFig1StaticDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res := Fig1Static(quickCfg())
+	// Delay must shrink with ε: the fitted slope at ε=0 should exceed the
+	// slope at ε=1 by a clear margin.
+	var at0, at1 float64
+	found0, found1 := false, false
+	for _, c := range res.Checks {
+		if c.Name == "delay slope (ops p99) eps=0.00 ≤ bound" {
+			at0, found0 = c.Measured, true
+		}
+		if c.Name == "delay slope (ops p99) eps=1.00 ≤ bound" {
+			at1, found1 = c.Measured, true
+		}
+	}
+	if !found0 || !found1 {
+		t.Fatalf("missing checks: %+v", res.Checks)
+	}
+	if at0 < at1+0.2 {
+		t.Errorf("delay slope did not fall with ε: eps0=%.2f eps1=%.2f", at0, at1)
+	}
+}
+
+func TestFindRegistry(t *testing.T) {
+	if Find("fig2") == nil || Find("nope") != nil {
+		t.Fatalf("Find broken")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"ivmeps/internal/query"
+	"ivmeps/internal/relation"
+	"ivmeps/internal/tuple"
+)
+
+func mkRel(name string, schema tuple.Schema, rows ...[]int64) *relation.Relation {
+	r := relation.New(name, schema)
+	for _, row := range rows {
+		t := make(tuple.Tuple, len(row)-1)
+		for i := 0; i < len(row)-1; i++ {
+			t[i] = tuple.Value(row[i])
+		}
+		r.MustAdd(t, row[len(row)-1])
+	}
+	return r
+}
+
+func TestEvalTwoWayJoin(t *testing.T) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	db := Database{
+		"R": mkRel("R", tuple.NewSchema("A", "B"), []int64{1, 10, 2}, []int64{2, 10, 1}, []int64{1, 20, 1}),
+		"S": mkRel("S", tuple.NewSchema("B", "C"), []int64{10, 5, 3}, []int64{20, 6, 1}, []int64{30, 7, 1}),
+	}
+	res := MustEval(q, db)
+	// (1,5): via B=10: 2*3=6. (2,5): 1*3=3. (1,6): via B=20: 1*1=1.
+	if res.Size() != 3 {
+		t.Fatalf("size = %d: %v", res.Size(), res)
+	}
+	checks := map[[2]int64]int64{{1, 5}: 6, {2, 5}: 3, {1, 6}: 1}
+	for k, m := range checks {
+		if got := res.Mult(tuple.Tuple{tuple.Value(k[0]), tuple.Value(k[1])}); got != m {
+			t.Errorf("Q(%d,%d) = %d, want %d", k[0], k[1], got, m)
+		}
+	}
+}
+
+func TestEvalProjectionAggregatesMultiplicity(t *testing.T) {
+	q := query.MustParse("Q(A) = R(A, B), S(B)")
+	db := Database{
+		"R": mkRel("R", tuple.NewSchema("A", "B"), []int64{1, 10, 1}, []int64{1, 20, 2}, []int64{2, 30, 1}),
+		"S": mkRel("S", tuple.NewSchema("B"), []int64{10, 1}, []int64{20, 4}),
+	}
+	res := MustEval(q, db)
+	// Q(1) = R(1,10)*S(10) + R(1,20)*S(20) = 1 + 8 = 9. A=2 drops out.
+	if res.Size() != 1 || res.Mult(tuple.Tuple{1}) != 9 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestEvalBooleanQuery(t *testing.T) {
+	q := query.MustParse("Q() = R(A, B), S(B)")
+	db := Database{
+		"R": mkRel("R", tuple.NewSchema("A", "B"), []int64{1, 10, 2}),
+		"S": mkRel("S", tuple.NewSchema("B"), []int64{10, 3}),
+	}
+	res := MustEval(q, db)
+	if res.Size() != 1 || res.Mult(tuple.Tuple{}) != 6 {
+		t.Fatalf("Boolean result = %v", res)
+	}
+	// Empty join → empty Boolean result.
+	db["S"] = mkRel("S", tuple.NewSchema("B"), []int64{99, 1})
+	res = MustEval(q, db)
+	if res.Size() != 0 {
+		t.Fatalf("expected empty result, got %v", res)
+	}
+}
+
+func TestEvalCartesianProduct(t *testing.T) {
+	q := query.MustParse("Q(A, B) = R(A), S(B)")
+	db := Database{
+		"R": mkRel("R", tuple.NewSchema("A"), []int64{1, 2}, []int64{2, 1}),
+		"S": mkRel("S", tuple.NewSchema("B"), []int64{7, 3}),
+	}
+	res := MustEval(q, db)
+	if res.Size() != 2 || res.Mult(tuple.Tuple{1, 7}) != 6 || res.Mult(tuple.Tuple{2, 7}) != 3 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestEvalRepeatedRelationSymbol(t *testing.T) {
+	// Self-join: Q(A, C) = R(A, B), R(B, C).
+	q := query.MustParse("Q(A, C) = R(A, B), R(B, C)")
+	db := Database{
+		"R": mkRel("R", tuple.NewSchema("A", "B"), []int64{1, 2, 1}, []int64{2, 3, 5}),
+	}
+	res := MustEval(q, db)
+	if res.Size() != 1 || res.Mult(tuple.Tuple{1, 3}) != 5 {
+		t.Fatalf("self-join res = %v", res)
+	}
+}
+
+func TestEvalRepeatedVariableInAtom(t *testing.T) {
+	// Q(A) = R(A, A): diagonal.
+	q := &query.Query{Name: "Q", Free: tuple.NewSchema("A"),
+		Atoms: []query.Atom{{Rel: "R", Vars: tuple.Schema{"A", "A"}}}}
+	db := Database{
+		"R": mkRel("R", tuple.NewSchema("X", "Y"), []int64{1, 1, 2}, []int64{1, 2, 9}, []int64{3, 3, 4}),
+	}
+	res := MustEval(q, db)
+	if res.Size() != 2 || res.Mult(tuple.Tuple{1}) != 2 || res.Mult(tuple.Tuple{3}) != 4 {
+		t.Fatalf("diagonal res = %v", res)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	q := query.MustParse("Q(A) = R(A, B)")
+	if _, err := Eval(q, Database{}); err == nil {
+		t.Fatalf("missing relation accepted")
+	}
+	db := Database{"R": mkRel("R", tuple.NewSchema("A"), []int64{1, 1})}
+	if _, err := Eval(q, db); err == nil {
+		t.Fatalf("arity mismatch accepted")
+	}
+}
+
+func TestDatabaseSizeAndClone(t *testing.T) {
+	db := Database{
+		"R": mkRel("R", tuple.NewSchema("A"), []int64{1, 1}, []int64{2, 1}),
+		"S": mkRel("S", tuple.NewSchema("B"), []int64{3, 1}),
+	}
+	if db.Size() != 3 {
+		t.Fatalf("Size = %d", db.Size())
+	}
+	c := db.Clone()
+	c["R"].MustAdd(tuple.Tuple{9}, 1)
+	if db["R"].Size() != 2 {
+		t.Fatalf("Clone aliases original")
+	}
+}
+
+// Against an even-more-naive evaluator: full Cartesian enumeration with
+// per-atom lookups, on random small databases and random hierarchical
+// queries.
+func TestEvalAgainstCartesianReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	opt := query.GenOptions{MaxDepth: 2, MaxBranch: 2, ExtraAtomP: 0.3, FreeP: 0.5, MaxChainLen: 1}
+	for trial := 0; trial < 60; trial++ {
+		q := query.RandomHierarchical(rng, opt)
+		db := Database{}
+		for _, a := range q.Atoms {
+			r := relation.New(a.Rel, a.Vars)
+			db[a.Rel] = r
+			n := 1 + rng.Intn(6)
+			for i := 0; i < n; i++ {
+				tup := make(tuple.Tuple, len(a.Vars))
+				for j := range tup {
+					tup[j] = tuple.Value(rng.Int63n(3))
+				}
+				r.Set(tup, 1+rng.Int63n(2))
+			}
+		}
+		got := MustEval(q, db)
+		want := cartesianReference(q, db)
+		if got.Size() != want.Size() {
+			t.Fatalf("trial %d (%s): size %d != %d", trial, q, got.Size(), want.Size())
+		}
+		ok := true
+		want.ForEach(func(tup tuple.Tuple, m int64) {
+			if got.Mult(tup) != m {
+				ok = false
+			}
+		})
+		if !ok {
+			t.Fatalf("trial %d (%s): multiplicity mismatch\ngot %v\nwant %v", trial, q, got, want)
+		}
+	}
+}
+
+// cartesianReference enumerates all assignments over the active domain.
+func cartesianReference(q *query.Query, db Database) *relation.Relation {
+	vars := q.Vars()
+	domain := map[tuple.Value]bool{}
+	for _, r := range db {
+		r.ForEach(func(t tuple.Tuple, m int64) {
+			for _, v := range t {
+				domain[v] = true
+			}
+		})
+	}
+	var dom []tuple.Value
+	for v := range domain {
+		dom = append(dom, v)
+	}
+	res := relation.New(q.Name, q.Free)
+	assign := make(map[tuple.Variable]tuple.Value)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			mult := int64(1)
+			for _, a := range q.Atoms {
+				at := make(tuple.Tuple, len(a.Vars))
+				for j, v := range a.Vars {
+					at[j] = assign[v]
+				}
+				mult *= db[a.Rel].Mult(at)
+				if mult == 0 {
+					return
+				}
+			}
+			ft := make(tuple.Tuple, len(q.Free))
+			for j, v := range q.Free {
+				ft[j] = assign[v]
+			}
+			res.MustAdd(ft, mult)
+			return
+		}
+		for _, d := range dom {
+			assign[vars[i]] = d
+			rec(i + 1)
+		}
+	}
+	if len(dom) > 0 {
+		rec(0)
+	}
+	return res
+}

@@ -1,0 +1,70 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics, that accepted queries
+// survive validation and round-trip through String, and that the
+// classifiers run safely on whatever parses.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"Q(A, C) = R(A, B), S(B, C)",
+		"Q() = R(A)",
+		"Q(A) = R(A, B), S(B, C), T(C)",
+		"Q(X1) = R1(X1, X2), R2(X2)",
+		"Q(A,A) = R(A)",
+		"Q(A) = ",
+		"Q(A) = R(A,)",
+		"(((",
+		"Q(A) = R(A) trailing",
+		"Q (A)=R ( A , B ) , S(B)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("parsed query fails validation: %q -> %v", s, err)
+		}
+		// Round trip: the rendered form must re-parse to the same string.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("round trip parse failed: %q -> %q: %v", s, q.String(), err)
+		}
+		if q2.String() != q.String() {
+			t.Fatalf("round trip changed: %q vs %q", q.String(), q2.String())
+		}
+		// Classification must not panic on any parsed query.
+		_ = Classify(q)
+		if q.IsHierarchical() {
+			_ = q.StaticWidth()
+			_ = q.DynamicWidth()
+		}
+		_ = q.ConnectedComponents()
+	})
+}
+
+// FuzzParse is also exercised as a plain test with the seed corpus when
+// fuzzing is not enabled.
+func TestParseRoundTripSeeds(t *testing.T) {
+	good := []string{
+		"Q(A, C) = R(A, B), S(B, C)",
+		"Q() = R(A)",
+		"Q(X1) = R1(X1, X2), R2(X2)",
+	}
+	for _, s := range good {
+		q := MustParse(s)
+		if got := MustParse(q.String()).String(); got != q.String() {
+			t.Errorf("round trip: %q -> %q", s, got)
+		}
+		if !strings.Contains(q.String(), "=") {
+			t.Errorf("rendered query malformed: %q", q.String())
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ivmeps/internal/tuple"
+)
+
+// GenOptions controls RandomHierarchical.
+type GenOptions struct {
+	MaxDepth    int     // maximum variable-tree depth (≥ 1)
+	MaxBranch   int     // maximum children per variable node (≥ 1)
+	ExtraAtomP  float64 // probability of an extra atom at an inner node
+	FreeP       float64 // probability that a variable is free
+	MaxChainLen int     // maximum length of same-atom-set variable chains (≥ 1)
+}
+
+// DefaultGenOptions returns moderate sizes suitable for property tests.
+func DefaultGenOptions() GenOptions {
+	return GenOptions{MaxDepth: 3, MaxBranch: 3, ExtraAtomP: 0.25, FreeP: 0.5, MaxChainLen: 2}
+}
+
+// RandomHierarchical generates a random hierarchical query by sampling a
+// random variable forest and attaching atoms along root-to-leaf paths: every
+// leaf gets an atom over its full path (so the query is hierarchical by
+// construction and the forest is its canonical variable order), and inner
+// nodes may get extra atoms. Free variables are sampled independently.
+// Relation symbols never repeat.
+func RandomHierarchical(rng *rand.Rand, opt GenOptions) *Query {
+	g := &generator{rng: rng, opt: opt}
+	q := &Query{Name: "Q"}
+	roots := 1 + rng.Intn(2)
+	for i := 0; i < roots; i++ {
+		g.grow(q, nil, 1)
+	}
+	// Sample free variables.
+	for _, v := range q.Vars() {
+		if rng.Float64() < opt.FreeP {
+			q.Free = append(q.Free, v)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	if !q.IsHierarchical() {
+		panic("generator produced non-hierarchical query: " + q.String())
+	}
+	return q
+}
+
+type generator struct {
+	rng     *rand.Rand
+	opt     GenOptions
+	varSeq  int
+	atomSeq int
+}
+
+func (g *generator) freshVar() tuple.Variable {
+	g.varSeq++
+	return tuple.Variable(fmt.Sprintf("X%d", g.varSeq))
+}
+
+func (g *generator) freshRel() string {
+	g.atomSeq++
+	return fmt.Sprintf("R%d", g.atomSeq)
+}
+
+// grow adds a chain of fresh variables under path, then either stops with a
+// leaf atom or recurses into children.
+func (g *generator) grow(q *Query, path tuple.Schema, depth int) {
+	chain := 1 + g.rng.Intn(g.opt.MaxChainLen)
+	for i := 0; i < chain; i++ {
+		path = append(path.Clone(), g.freshVar())
+	}
+	isLeaf := depth >= g.opt.MaxDepth || g.rng.Intn(2) == 0
+	if isLeaf {
+		q.Atoms = append(q.Atoms, Atom{Rel: g.freshRel(), Vars: path.Clone()})
+		return
+	}
+	if g.rng.Float64() < g.opt.ExtraAtomP {
+		q.Atoms = append(q.Atoms, Atom{Rel: g.freshRel(), Vars: path.Clone()})
+	}
+	kids := 1 + g.rng.Intn(g.opt.MaxBranch)
+	for i := 0; i < kids; i++ {
+		g.grow(q, path, depth+1)
+	}
+}

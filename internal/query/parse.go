@@ -1,0 +1,164 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"ivmeps/internal/tuple"
+)
+
+// Parse parses a conjunctive query written in the paper's notation, e.g.
+//
+//	Q(A, C) = R(A, B), S(B, C)
+//
+// Whitespace is insignificant. The head lists the free variables; the body
+// is a comma-separated list of atoms. A Boolean query is written with an
+// empty head: "Q() = R(A), S(A)". Identifiers are letters, digits, and
+// underscores, starting with a letter.
+func Parse(s string) (*Query, error) {
+	p := &parser{input: s}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("query: parse %q: %w", s, err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for query literals in tests,
+// examples, and benchmarks.
+func MustParse(s string) *Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("position %d: expected %q, found %q", p.pos, string(c), rest(p.input, p.pos))
+	}
+	p.pos++
+	return nil
+}
+
+func rest(s string, pos int) string {
+	if pos >= len(s) {
+		return "end of input"
+	}
+	r := s[pos:]
+	if len(r) > 12 {
+		r = r[:12] + "..."
+	}
+	return r
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := rune(p.input[p.pos])
+		if unicode.IsLetter(c) || c == '_' || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("position %d: expected identifier, found %q", p.pos, rest(p.input, p.pos))
+	}
+	return p.input[start:p.pos], nil
+}
+
+// schema parses "( X1, ..., Xk )", allowing k = 0.
+func (p *parser) schema() (tuple.Schema, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var s tuple.Schema
+	p.skipSpace()
+	if p.peek() == ')' {
+		p.pos++
+		return s, nil
+	}
+	for {
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s = append(s, tuple.Variable(v))
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return s, nil
+		default:
+			return nil, fmt.Errorf("position %d: expected ',' or ')', found %q", p.pos, rest(p.input, p.pos))
+		}
+	}
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	free, err := p.schema()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect('='); err != nil {
+		return nil, err
+	}
+	q := &Query{Name: name, Free: free}
+	for {
+		rel, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		vars, err := p.schema()
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, Atom{Rel: rel, Vars: vars})
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("position %d: trailing input %q", p.pos, rest(p.input, p.pos))
+	}
+	if strings.TrimSpace(name) == "" {
+		return nil, fmt.Errorf("empty query name")
+	}
+	return q, nil
+}

@@ -1,0 +1,133 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ivmeps/internal/tuple"
+)
+
+// These property tests check the paper's structural propositions on
+// randomly generated hierarchical queries.
+
+func randomQueries(seed int64, n int) []*Query {
+	rng := rand.New(rand.NewSource(seed))
+	opt := DefaultGenOptions()
+	out := make([]*Query, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, RandomHierarchical(rng, opt))
+	}
+	return out
+}
+
+// Proposition 3: any free-connex hierarchical query has static width 1.
+func TestProp3FreeConnexWidthOne(t *testing.T) {
+	for _, q := range randomQueries(3, 400) {
+		if q.IsFreeConnex() && q.StaticWidth() != 1 {
+			t.Fatalf("Prop 3 violated: %s has w=%d", q, q.StaticWidth())
+		}
+	}
+}
+
+// Proposition 6: a query is q-hierarchical iff it is δ0-hierarchical.
+func TestProp6QHierIffDelta0(t *testing.T) {
+	for _, q := range randomQueries(6, 400) {
+		qh := q.IsQHierarchical()
+		d0 := q.DynamicWidth() == 0
+		if qh != d0 {
+			t.Fatalf("Prop 6 violated: %s q-hier=%v δ=%d", q, qh, q.DynamicWidth())
+		}
+	}
+}
+
+// Proposition 7: any free-connex hierarchical query is δ0- or
+// δ1-hierarchical.
+func TestProp7FreeConnexDelta01(t *testing.T) {
+	for _, q := range randomQueries(7, 400) {
+		if q.IsFreeConnex() {
+			if d := q.DynamicWidth(); d > 1 {
+				t.Fatalf("Prop 7 violated: %s free-connex with δ=%d", q, d)
+			}
+		}
+	}
+}
+
+// Proposition 17: δ = w or δ = w − 1.
+func TestProp17DeltaNearW(t *testing.T) {
+	for _, q := range randomQueries(17, 600) {
+		w, d := q.StaticWidth(), q.DynamicWidth()
+		if d != w && d != w-1 {
+			t.Fatalf("Prop 17 violated: %s w=%d δ=%d", q, w, d)
+		}
+	}
+}
+
+// q-hierarchical queries are a subclass of free-connex hierarchical queries
+// (Section 2, "Hierarchical queries").
+func TestQHierImpliesFreeConnex(t *testing.T) {
+	for _, q := range randomQueries(99, 400) {
+		if q.IsQHierarchical() && !q.IsFreeConnex() {
+			t.Fatalf("q-hierarchical but not free-connex: %s", q)
+		}
+	}
+}
+
+// Hierarchical queries are α-acyclic.
+func TestHierarchicalImpliesAcyclic(t *testing.T) {
+	for _, q := range randomQueries(11, 400) {
+		if !q.IsAlphaAcyclic() {
+			t.Fatalf("hierarchical query not α-acyclic: %s", q)
+		}
+	}
+}
+
+// The δi-hierarchical family Q(Y0..Yi) = R0(X,Y0),...,Ri(X,Yi) from the
+// paper (after Definition 5) has δ = i and w = i + 1 (covering {X, Y0..Yi}
+// needs one atom per Yj; δ = w − 1 as in Proposition 17).
+func TestDeltaFamily(t *testing.T) {
+	for i := 0; i <= 5; i++ {
+		q := &Query{Name: "Q"}
+		for j := 0; j <= i; j++ {
+			y := varName("Y", j)
+			q.Free = append(q.Free, y)
+			q.Atoms = append(q.Atoms, Atom{Rel: relName("R", j), Vars: tuple.Schema{"X", y}})
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if d := q.DynamicWidth(); d != i {
+			t.Errorf("family i=%d: δ=%d", i, d)
+		}
+		wantW := i + 1
+		if w := q.StaticWidth(); w != wantW {
+			t.Errorf("family i=%d: w=%d want %d", i, w, wantW)
+		}
+	}
+}
+
+// Components of a hierarchical query are hierarchical, and widths are the
+// max across components.
+func TestComponentsPreserveClass(t *testing.T) {
+	for _, q := range randomQueries(21, 200) {
+		comps := q.ConnectedComponents()
+		maxW, maxD := 1, 0
+		for _, c := range comps {
+			if !c.IsHierarchical() {
+				t.Fatalf("component not hierarchical: %s of %s", c, q)
+			}
+			if w := c.StaticWidth(); w > maxW {
+				maxW = w
+			}
+			if d := c.DynamicWidth(); d > maxD {
+				maxD = d
+			}
+		}
+		if q.StaticWidth() != maxW || q.DynamicWidth() != maxD {
+			t.Fatalf("widths not component-max: %s w=%d/%d δ=%d/%d", q, q.StaticWidth(), maxW, q.DynamicWidth(), maxD)
+		}
+	}
+}
+
+func varName(p string, i int) tuple.Variable { return tuple.Variable(fmt.Sprintf("%s%d", p, i)) }
+func relName(p string, i int) string         { return fmt.Sprintf("%s%d", p, i) }

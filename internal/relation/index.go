@@ -1,0 +1,196 @@
+package relation
+
+import (
+	"fmt"
+
+	"ivmeps/internal/tuple"
+)
+
+// Index is a secondary index of a Relation on a sub-schema S of the
+// relation's schema. For any S-tuple t it supports the operations (4)-(7)
+// of the paper's computational model: constant-delay enumeration of
+// σ_{S=t}R, constant-time membership in π_S R, constant-time |σ_{S=t}R|,
+// and constant-time maintenance.
+type Index struct {
+	rel       *Relation
+	keySchema tuple.Schema
+	proj      tuple.Projection
+	buckets   map[tuple.Key]*bucket
+	slot      int // position of this index in rel.indexes and Entry.nodes
+}
+
+// bucket holds the doubly-linked list of index nodes for one key value.
+type bucket struct {
+	key   tuple.Tuple
+	head  *IndexNode
+	tail  *IndexNode
+	count int
+}
+
+// IndexNode links one entry into one bucket.
+type IndexNode struct {
+	entry      *Entry
+	b          *bucket
+	prev, next *IndexNode
+}
+
+// EnsureIndex returns the relation's index on keySchema, creating it (and
+// populating it from the current contents) if needed. keySchema must be a
+// subset of the relation's schema; comparison is order-sensitive only for
+// the key encoding, so callers should pass a canonical order.
+func (r *Relation) EnsureIndex(keySchema tuple.Schema) *Index {
+	for _, ix := range r.indexes {
+		if ix.keySchema.Equal(keySchema) {
+			return ix
+		}
+	}
+	if !r.schema.ContainsAll(keySchema) {
+		panic(fmt.Sprintf("relation %s: index schema %v not contained in %v", r.name, keySchema, r.schema))
+	}
+	ix := &Index{
+		rel:       r,
+		keySchema: keySchema.Clone(),
+		proj:      tuple.MustProjection(r.schema, keySchema),
+		buckets:   make(map[tuple.Key]*bucket),
+		slot:      len(r.indexes),
+	}
+	r.indexes = append(r.indexes, ix)
+	for e := r.head; e != nil; e = e.next {
+		ix.insert(e)
+	}
+	return ix
+}
+
+// Index returns the existing index on keySchema, or nil.
+func (r *Relation) Index(keySchema tuple.Schema) *Index {
+	for _, ix := range r.indexes {
+		if ix.keySchema.Equal(keySchema) {
+			return ix
+		}
+	}
+	return nil
+}
+
+// KeySchema returns the index's key schema.
+func (ix *Index) KeySchema() tuple.Schema { return ix.keySchema }
+
+func (ix *Index) insert(e *Entry) {
+	keyT := ix.proj.Apply(e.Tuple)
+	k := tuple.EncodeKey(keyT)
+	b, ok := ix.buckets[k]
+	if !ok {
+		b = &bucket{key: keyT}
+		ix.buckets[k] = b
+	}
+	n := &IndexNode{entry: e, b: b}
+	n.prev = b.tail
+	if b.tail != nil {
+		b.tail.next = n
+	} else {
+		b.head = n
+	}
+	b.tail = n
+	b.count++
+	for len(e.nodes) <= ix.slot {
+		e.nodes = append(e.nodes, nil)
+	}
+	e.nodes[ix.slot] = n
+}
+
+func (ix *Index) remove(e *Entry) {
+	n := e.nodes[ix.slot]
+	if n == nil {
+		return
+	}
+	b := n.b
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	b.count--
+	if b.count == 0 {
+		delete(ix.buckets, tuple.EncodeKey(b.key))
+	}
+	e.nodes[ix.slot] = nil
+}
+
+// Count returns |σ_{S=key}R| in O(1).
+func (ix *Index) Count(key tuple.Tuple) int {
+	if b, ok := ix.buckets[tuple.EncodeKey(key)]; ok {
+		return b.count
+	}
+	return 0
+}
+
+// CountKey is Count with a pre-encoded key.
+func (ix *Index) CountKey(k tuple.Key) int {
+	if b, ok := ix.buckets[k]; ok {
+		return b.count
+	}
+	return 0
+}
+
+// Has reports key ∈ π_S R in O(1).
+func (ix *Index) Has(key tuple.Tuple) bool { return ix.Count(key) > 0 }
+
+// DistinctKeys returns |π_S R| in O(1).
+func (ix *Index) DistinctKeys() int { return len(ix.buckets) }
+
+// ForEachMatch calls fn on every entry of σ_{S=key}R with constant delay.
+// fn must not mutate the relation.
+func (ix *Index) ForEachMatch(key tuple.Tuple, fn func(t tuple.Tuple, m int64)) {
+	b, ok := ix.buckets[tuple.EncodeKey(key)]
+	if !ok {
+		return
+	}
+	for n := b.head; n != nil; n = n.next {
+		fn(n.entry.Tuple, n.entry.Mult)
+	}
+}
+
+// Matches returns a snapshot of σ_{S=key}R; intended for tests.
+func (ix *Index) Matches(key tuple.Tuple) []Entry {
+	var out []Entry
+	ix.ForEachMatch(key, func(t tuple.Tuple, m int64) {
+		out = append(out, Entry{Tuple: t.Clone(), Mult: m})
+	})
+	return out
+}
+
+// FirstMatch returns the first entry of σ_{S=key}R in insertion order, or
+// nil if the bucket is empty; NextMatch advances within the bucket. Together
+// they give the constant-delay cursor used by the enumeration iterators.
+func (ix *Index) FirstMatch(key tuple.Tuple) *IndexNode {
+	if b, ok := ix.buckets[tuple.EncodeKey(key)]; ok {
+		return b.head
+	}
+	return nil
+}
+
+// FirstMatchKey is FirstMatch with a pre-encoded key.
+func (ix *Index) FirstMatchKey(k tuple.Key) *IndexNode {
+	if b, ok := ix.buckets[k]; ok {
+		return b.head
+	}
+	return nil
+}
+
+// Next returns the cursor after n within its bucket, or nil.
+func (n *IndexNode) Next() *IndexNode { return n.next }
+
+// Entry returns the relation entry the cursor points at.
+func (n *IndexNode) Entry() *Entry { return n.entry }
+
+// ForEachKey calls fn on one representative (key, bucket-count) per
+// distinct key value, in unspecified order.
+func (ix *Index) ForEachKey(fn func(key tuple.Tuple, count int)) {
+	for _, b := range ix.buckets {
+		fn(b.key, b.count)
+	}
+}

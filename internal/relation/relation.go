@@ -1,0 +1,259 @@
+// Package relation implements the data structure of the paper's
+// computational model (Section 3): a relation (or materialized view) over a
+// schema X stores key-value entries (x, R(x)) for tuples with non-zero
+// multiplicity, and supports
+//
+//  1. lookup, insert, and delete of entries in constant time,
+//  2. enumeration of all stored entries with constant delay,
+//  3. reporting |R| in constant time,
+//
+// and, per secondary index on a sub-schema S ⊂ X,
+//
+//  4. constant-delay enumeration of σ_{S=t}R,
+//  5. constant-time membership t ∈ π_S R,
+//  6. constant-time |σ_{S=t}R|,
+//  7. constant-time index insert and delete.
+//
+// The implementation is exactly the one sketched in the paper: a hash table
+// whose entries are doubly linked for enumeration, plus per-index hash
+// tables of doubly-linked pointer lists with back-pointers stored on each
+// entry so that deletion is constant time per index.
+package relation
+
+import (
+	"fmt"
+
+	"ivmeps/internal/tuple"
+)
+
+// Entry is one stored tuple with its multiplicity. Entries are owned by
+// their Relation; callers must not modify Tuple in place.
+type Entry struct {
+	Tuple tuple.Tuple
+	Mult  int64
+
+	prev, next *Entry
+	// nodes[i] is this entry's node in the relation's i-th index
+	// (the back-pointers of the paper's deletion scheme).
+	nodes []*IndexNode
+}
+
+// Relation is a multiset relation over a fixed schema, storing tuples with
+// strictly positive multiplicities. The zero multiplicity is represented by
+// absence.
+type Relation struct {
+	name    string
+	schema  tuple.Schema
+	entries map[tuple.Key]*Entry
+	head    *Entry // insertion-ordered doubly-linked list
+	tail    *Entry
+	indexes []*Index
+	total   int64 // sum of multiplicities (for diagnostics)
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema tuple.Schema) *Relation {
+	if err := schema.Validate(); err != nil {
+		panic(err)
+	}
+	return &Relation{
+		name:    name,
+		schema:  schema.Clone(),
+		entries: make(map[tuple.Key]*Entry),
+	}
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema. Callers must not modify it.
+func (r *Relation) Schema() tuple.Schema { return r.schema }
+
+// Size returns |R|, the number of distinct stored tuples, in O(1).
+func (r *Relation) Size() int { return len(r.entries) }
+
+// TotalMultiplicity returns the sum of all multiplicities.
+func (r *Relation) TotalMultiplicity() int64 { return r.total }
+
+// Mult returns R(t): the multiplicity of t, or 0 if absent.
+func (r *Relation) Mult(t tuple.Tuple) int64 {
+	if e, ok := r.entries[tuple.EncodeKey(t)]; ok {
+		return e.Mult
+	}
+	return 0
+}
+
+// MultKey is Mult keyed by a pre-encoded tuple key.
+func (r *Relation) MultKey(k tuple.Key) int64 {
+	if e, ok := r.entries[k]; ok {
+		return e.Mult
+	}
+	return 0
+}
+
+// Contains reports whether t ∈ R (non-zero multiplicity).
+func (r *Relation) Contains(t tuple.Tuple) bool { return r.Mult(t) != 0 }
+
+// ErrNegative is returned when an update would drive a multiplicity below
+// zero; the paper rejects such deletes (Section 3, "Modeling Updates").
+type ErrNegative struct {
+	Relation string
+	Tuple    tuple.Tuple
+	Have     int64
+	Delta    int64
+}
+
+func (e *ErrNegative) Error() string {
+	return fmt.Sprintf("relation %s: delete of %v with multiplicity %d exceeds stored multiplicity %d",
+		e.Relation, e.Tuple, -e.Delta, e.Have)
+}
+
+// Add applies the single-tuple delta {t -> m}: it adds m to the
+// multiplicity of t, inserting the entry if it was absent and removing it
+// if the multiplicity reaches zero. It returns an error (and leaves the
+// relation unchanged) if the result would be negative. m = 0 is a no-op.
+func (r *Relation) Add(t tuple.Tuple, m int64) error {
+	if m == 0 {
+		return nil
+	}
+	if len(t) != len(r.schema) {
+		return fmt.Errorf("relation %s: tuple %v has arity %d, schema %v has arity %d",
+			r.name, t, len(t), r.schema, len(r.schema))
+	}
+	k := tuple.EncodeKey(t)
+	e, ok := r.entries[k]
+	if !ok {
+		if m < 0 {
+			return &ErrNegative{Relation: r.name, Tuple: t.Clone(), Have: 0, Delta: m}
+		}
+		e = &Entry{Tuple: t.Clone(), Mult: m}
+		r.entries[k] = e
+		r.linkEntry(e)
+		for _, ix := range r.indexes {
+			ix.insert(e)
+		}
+		r.total += m
+		return nil
+	}
+	if e.Mult+m < 0 {
+		return &ErrNegative{Relation: r.name, Tuple: t.Clone(), Have: e.Mult, Delta: m}
+	}
+	e.Mult += m
+	r.total += m
+	if e.Mult == 0 {
+		delete(r.entries, k)
+		r.unlinkEntry(e)
+		for _, ix := range r.indexes {
+			ix.remove(e)
+		}
+	}
+	return nil
+}
+
+// MustAdd is Add that panics on error; for code paths where the engine
+// guarantees non-negative multiplicities.
+func (r *Relation) MustAdd(t tuple.Tuple, m int64) {
+	if err := r.Add(t, m); err != nil {
+		panic(err)
+	}
+}
+
+// Set forces the multiplicity of t to m ≥ 0 (0 deletes).
+func (r *Relation) Set(t tuple.Tuple, m int64) {
+	cur := r.Mult(t)
+	r.MustAdd(t, m-cur)
+}
+
+// Clear removes all tuples (and empties all indexes) while keeping the
+// index definitions.
+func (r *Relation) Clear() {
+	r.entries = make(map[tuple.Key]*Entry)
+	r.head, r.tail = nil, nil
+	r.total = 0
+	for _, ix := range r.indexes {
+		ix.buckets = make(map[tuple.Key]*bucket)
+	}
+}
+
+func (r *Relation) linkEntry(e *Entry) {
+	e.prev = r.tail
+	e.next = nil
+	if r.tail != nil {
+		r.tail.next = e
+	} else {
+		r.head = e
+	}
+	r.tail = e
+}
+
+func (r *Relation) unlinkEntry(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		r.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		r.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// First returns the first entry in insertion order, or nil if empty.
+func (r *Relation) First() *Entry { return r.head }
+
+// Next returns the entry after e in insertion order, or nil.
+func (r *Relation) Next(e *Entry) *Entry { return e.next }
+
+// ForEach calls fn on every entry in insertion order. fn must not mutate
+// the relation.
+func (r *Relation) ForEach(fn func(t tuple.Tuple, m int64)) {
+	for e := r.head; e != nil; e = e.next {
+		fn(e.Tuple, e.Mult)
+	}
+}
+
+// ForEachUntil calls fn on every entry in insertion order until fn returns
+// false. fn must not mutate the relation.
+func (r *Relation) ForEachUntil(fn func(t tuple.Tuple, m int64) bool) {
+	for e := r.head; e != nil; e = e.next {
+		if !fn(e.Tuple, e.Mult) {
+			return
+		}
+	}
+}
+
+// Entries returns a snapshot slice of (tuple, multiplicity) pairs in
+// insertion order; intended for tests and small relations.
+func (r *Relation) Entries() []Entry {
+	out := make([]Entry, 0, len(r.entries))
+	for e := r.head; e != nil; e = e.next {
+		out = append(out, Entry{Tuple: e.Tuple.Clone(), Mult: e.Mult})
+	}
+	return out
+}
+
+// Clone returns a deep copy of the relation's contents (indexes are not
+// copied; add them on the clone as needed).
+func (r *Relation) Clone() *Relation {
+	out := New(r.name, r.schema)
+	for e := r.head; e != nil; e = e.next {
+		out.MustAdd(e.Tuple, e.Mult)
+	}
+	return out
+}
+
+// String renders a small relation for debugging.
+func (r *Relation) String() string {
+	s := r.name + r.schema.String() + "{"
+	first := true
+	for e := r.head; e != nil; e = e.next {
+		if !first {
+			s += ", "
+		}
+		first = false
+		s += fmt.Sprintf("%v->%d", e.Tuple, e.Mult)
+	}
+	return s + "}"
+}

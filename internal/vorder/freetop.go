@@ -1,0 +1,224 @@
+package vorder
+
+import (
+	"sort"
+
+	"ivmeps/internal/tuple"
+)
+
+// IsFreeTop reports whether no bound variable of the query is an ancestor
+// of a free variable in the order.
+func (o *Order) IsFreeTop() bool {
+	ok := true
+	o.Walk(func(n *Node) {
+		if n.IsVar() && o.Q.IsFree(n.Var) {
+			for _, a := range n.Anc() {
+				if !o.Q.IsFree(a) {
+					ok = false
+				}
+			}
+		}
+	})
+	return ok
+}
+
+// HighestBoundWithFreeBelow returns hBF(ω): the bound variables that are
+// ancestors of at least one free variable and have no bound ancestors
+// (Appendix B).
+func (o *Order) HighestBoundWithFreeBelow() []*Node {
+	var out []*Node
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if !n.IsVar() {
+			return
+		}
+		if !o.Q.IsFree(n.Var) {
+			// n is the highest bound variable on this path; include it if
+			// its subtree contains a free variable, then stop descending.
+			for _, v := range n.SubVars() {
+				if o.Q.IsFree(v) {
+					out = append(out, n)
+					break
+				}
+			}
+			return
+		}
+		for _, c := range n.Children {
+			visit(c)
+		}
+	}
+	for _, r := range o.Roots {
+		visit(r)
+	}
+	return out
+}
+
+// FreeTop applies the transform of Appendix B.1 to a canonical variable
+// order: for each subtree rooted at a variable of hBF(ω), the free
+// variables of the subtree are pulled up into a chain (ordered by the
+// subtree's partial order with lexicographic tie-breaking) placed above the
+// restriction of the subtree to its remaining variables. The result is a
+// free-top variable order for the same query (Lemma 33). The receiver is
+// not modified.
+func (o *Order) FreeTop() *Order {
+	out := o.Clone()
+	for _, x := range out.HighestBoundWithFreeBelow() {
+		transformSubtree(out, x)
+	}
+	return out
+}
+
+func transformSubtree(o *Order, x *Node) {
+	// Collect free variables of the subtree in partial order with
+	// lexicographic tie-breaking: repeatedly pick the lexicographically
+	// smallest free variable whose free ancestors within the subtree have
+	// all been picked. Since ancestors in the tree are a chain, it is
+	// equivalent to sort by (depth of deepest unpicked constraint)... a
+	// simple Kahn-style selection over the ancestor relation suffices.
+	type fv struct {
+		node *Node
+		anc  map[tuple.Variable]bool // free ancestors within subtree
+	}
+	var frees []*fv
+	var collect func(n *Node, above map[tuple.Variable]bool)
+	collect = func(n *Node, above map[tuple.Variable]bool) {
+		if !n.IsVar() {
+			return
+		}
+		next := above
+		if o.Q.IsFree(n.Var) {
+			anc := make(map[tuple.Variable]bool, len(above))
+			for v := range above {
+				anc[v] = true
+			}
+			frees = append(frees, &fv{node: n, anc: anc})
+			next = make(map[tuple.Variable]bool, len(above)+1)
+			for v := range above {
+				next[v] = true
+			}
+			next[n.Var] = true
+		}
+		for _, c := range n.Children {
+			collect(c, next)
+		}
+	}
+	collect(x, map[tuple.Variable]bool{})
+	if len(frees) == 0 {
+		return
+	}
+	var chain []*Node
+	picked := map[tuple.Variable]bool{}
+	for len(chain) < len(frees) {
+		// Eligible: all free ancestors picked; choose lexicographic min.
+		var best *fv
+		for _, f := range frees {
+			if picked[f.node.Var] {
+				continue
+			}
+			ok := true
+			for a := range f.anc {
+				if !picked[a] {
+					ok = false
+					break
+				}
+			}
+			if ok && (best == nil || f.node.Var < best.node.Var) {
+				best = f
+			}
+		}
+		picked[best.node.Var] = true
+		chain = append(chain, best.node)
+	}
+
+	// Restrict the subtree: remove the free variables, splicing children
+	// onto parents. The root x is bound, so the restriction stays a tree
+	// rooted at x.
+	freeSet := map[tuple.Variable]bool{}
+	for _, f := range frees {
+		freeSet[f.node.Var] = true
+	}
+	parent := x.Parent
+	restricted := restrict(x, freeSet)
+
+	// Build the chain F1 - ... - Fn - restricted, reusing the chain nodes.
+	for i, n := range chain {
+		n.Children = nil
+		n.Parent = nil
+		if i > 0 {
+			n.Parent = chain[i-1]
+			chain[i-1].Children = []*Node{n}
+		}
+	}
+	last := chain[len(chain)-1]
+	restricted.Parent = last
+	last.Children = []*Node{restricted}
+
+	head := chain[0]
+	head.Parent = parent
+	if parent == nil {
+		for i, r := range o.Roots {
+			if r == x {
+				o.Roots[i] = head
+			}
+		}
+	} else {
+		for i, c := range parent.Children {
+			if c == x {
+				parent.Children[i] = head
+			}
+		}
+	}
+}
+
+// restrict removes the variables in drop from the subtree rooted at n,
+// splicing the children of removed nodes onto their parents. n must not be
+// dropped. Parent pointers within the result are fixed up.
+func restrict(n *Node, drop map[tuple.Variable]bool) *Node {
+	var newKids []*Node
+	var gather func(m *Node)
+	gather = func(m *Node) {
+		if m.IsVar() && drop[m.Var] {
+			for _, c := range m.Children {
+				gather(c)
+			}
+			return
+		}
+		newKids = append(newKids, m)
+	}
+	for _, c := range n.Children {
+		gather(c)
+	}
+	n.Children = newKids
+	for _, c := range n.Children {
+		c.Parent = n
+		restrictChildren(c, drop)
+	}
+	return n
+}
+
+func restrictChildren(n *Node, drop map[tuple.Variable]bool) {
+	if !n.IsVar() {
+		return
+	}
+	restrict(n, drop)
+}
+
+// SortChildren orders children deterministically (atoms after variables,
+// then by name); useful for stable test output.
+func (o *Order) SortChildren() {
+	o.Walk(func(n *Node) {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			a, b := n.Children[i], n.Children[j]
+			switch {
+			case a.IsVar() && !b.IsVar():
+				return true
+			case !a.IsVar() && b.IsVar():
+				return false
+			case a.IsVar():
+				return a.Var < b.Var
+			default:
+				return a.Atom.Rel < b.Atom.Rel
+			}
+		})
+	})
+}

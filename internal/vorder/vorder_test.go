@@ -1,0 +1,272 @@
+package vorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"ivmeps/internal/query"
+	"ivmeps/internal/tuple"
+)
+
+func canon(t *testing.T, s string) *Order {
+	t.Helper()
+	o, err := Canonical(query.MustParse(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SortChildren()
+	return o
+}
+
+func TestCanonicalExample14(t *testing.T) {
+	// Example 14: Q(A,C,F) = R(A,B,C), S(A,B,D), T(A,E,F), U(A,E,G) admits
+	// the canonical order A - {B - {C - R; D - S}; E - {F - T; G - U}}.
+	o := canon(t, "Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)")
+	want := "A - {B - {C - R(A, B, C); D - S(A, B, D)}; E - {F - T(A, E, F); G - U(A, E, G)}}"
+	if got := o.String(); got != want {
+		t.Fatalf("canonical = %s\nwant %s", got, want)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !o.IsCanonical() {
+		t.Fatalf("IsCanonical false")
+	}
+	if o.IsFreeTop() {
+		t.Fatalf("order should not be free-top (bound B, E above free C, F)")
+	}
+}
+
+func TestCanonicalFigure9(t *testing.T) {
+	// Figure 9: Q(A,D,E) = R(A,B,C), S(A,B,D), T(A,E) has canonical order
+	// A - {B - {C - R; D - S}; E - T}.
+	o := canon(t, "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)")
+	want := "A - {B - {C - R(A, B, C); D - S(A, B, D)}; E - T(A, E)}"
+	if got := o.String(); got != want {
+		t.Fatalf("canonical = %s, want %s", got, want)
+	}
+}
+
+func TestCanonicalChains(t *testing.T) {
+	// Variables with identical atom sets form lexicographic chains.
+	o := canon(t, "Q(A) = R(B, A), S(A, C, B)")
+	// atoms(A) = {R,S} = atoms(B); atoms(C) = {S}: chain A-B then C under B.
+	want := "A - B - {C - S(A, C, B); R(B, A)}"
+	if got := o.String(); got != want {
+		t.Fatalf("canonical = %s, want %s", got, want)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalForest(t *testing.T) {
+	o := canon(t, "Q(A, C) = R(A, B), S(C)")
+	if len(o.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(o.Roots))
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalRejectsNonHierarchical(t *testing.T) {
+	if _, err := Canonical(query.MustParse("Q() = R(A, B), S(B, C), T(A, C)")); err == nil {
+		t.Fatalf("triangle accepted")
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	o := canon(t, "Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)")
+	b := o.VarNode("B")
+	if b == nil {
+		t.Fatal("B not found")
+	}
+	if !b.Anc().Equal(tuple.NewSchema("A")) {
+		t.Fatalf("Anc(B) = %v", b.Anc())
+	}
+	if !b.HasSibling() {
+		t.Fatalf("B should have sibling E")
+	}
+	if !b.SubVars().SameSet(tuple.NewSchema("B", "C", "D")) {
+		t.Fatalf("SubVars(B) = %v", b.SubVars())
+	}
+	atoms := b.SubAtoms()
+	if len(atoms) != 2 {
+		t.Fatalf("SubAtoms(B) = %v", atoms)
+	}
+	if o.VarNode("Z") != nil {
+		t.Fatalf("VarNode(Z) non-nil")
+	}
+	c := o.VarNode("C")
+	if c.HasSibling() != true { // C and D are siblings under B
+		t.Fatalf("HasSibling(C) = false")
+	}
+}
+
+func TestHighestBoundWithFreeBelow(t *testing.T) {
+	// Figure 25-style: hBF of Example 14's order is {B, E}? No — for
+	// Q(A,C,F), bound vars B, E sit directly above free C, F with only free
+	// A above them, so hBF = {B, E}.
+	o := canon(t, "Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)")
+	hbf := o.HighestBoundWithFreeBelow()
+	var names tuple.Schema
+	for _, n := range hbf {
+		names = append(names, n.Var)
+	}
+	if !names.SameSet(tuple.NewSchema("B", "E")) {
+		t.Fatalf("hBF = %v, want {B, E}", names)
+	}
+	// A q-hierarchical query has empty hBF on its canonical order... only
+	// when the order is already free-top.
+	o2 := canon(t, "Q(A, B) = R(A, B), S(B)")
+	if len(o2.HighestBoundWithFreeBelow()) != 0 {
+		t.Fatalf("hBF non-empty for free-top order")
+	}
+}
+
+func TestFreeTopExample14(t *testing.T) {
+	// Example 14's free-top order: A - {C - B - {R; D - S}; F - E - {T; G - U}}.
+	o := canon(t, "Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)")
+	f := o.FreeTop()
+	f.SortChildren()
+	want := "A - {C - B - {D - S(A, B, D); R(A, B, C)}; F - E - {G - U(A, E, G); T(A, E, F)}}"
+	if got := f.String(); got != want {
+		t.Fatalf("free-top = %s\nwant %s", got, want)
+	}
+	if !f.IsFreeTop() {
+		t.Fatalf("transform not free-top")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if o.IsFreeTop() {
+		t.Fatalf("FreeTop mutated receiver")
+	}
+}
+
+func TestFreeTopFigure25(t *testing.T) {
+	// Figure 25's order, expressed as a query with one atom per leaf path.
+	q := query.MustParse("Q(A, B, D, G, J, K, L, M) = " +
+		"R1(A, B, D, H), R2(A, B, D, I), R3(A, B, E, J), R4(A, B, E, K), " +
+		"R5(A, C, F, L), R6(A, C, F, M), R7(A, C, G, N), R8(A, C, G, O)")
+	o, err := Canonical(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbf := o.HighestBoundWithFreeBelow()
+	var names tuple.Schema
+	for _, n := range hbf {
+		names = append(names, n.Var)
+	}
+	if !names.SameSet(tuple.NewSchema("C", "E")) {
+		t.Fatalf("hBF = %v, want {C, E}", names)
+	}
+	f := o.FreeTop()
+	if !f.IsFreeTop() {
+		t.Fatalf("not free-top")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The free chain under the transformed C-subtree is G - L - M (partial
+	// order has them incomparable; lexicographic), then C.
+	g := f.VarNode("G")
+	if g == nil || len(g.Children) != 1 || g.Children[0].Var != "L" {
+		t.Fatalf("chain after G wrong: %v", f)
+	}
+	l := f.VarNode("L")
+	if l.Children[0].Var != "M" {
+		t.Fatalf("chain after L wrong")
+	}
+	m := f.VarNode("M")
+	if m.Children[0].Var != "C" {
+		t.Fatalf("restriction root after chain wrong")
+	}
+	// J - K - E on the other side.
+	j := f.VarNode("J")
+	if j == nil || j.Children[0].Var != "K" || f.VarNode("K").Children[0].Var != "E" {
+		t.Fatalf("J-K-E chain wrong: %v", f)
+	}
+}
+
+func TestDepOnCanonicalEqualsAnc(t *testing.T) {
+	// On a canonical order, every ancestor shares an atom with the subtree,
+	// so dep(X) = anc(X).
+	o := canon(t, "Q(A, C, F) = R(A, B, C), S(A, B, D), T(A, E, F), U(A, E, G)")
+	dep := o.Dep()
+	o.Walk(func(n *Node) {
+		if n.IsVar() && !dep[n.Var].SameSet(n.Anc()) {
+			t.Errorf("dep(%s) = %v, anc = %v", n.Var, dep[n.Var], n.Anc())
+		}
+	})
+}
+
+func TestWidthsOnOrders(t *testing.T) {
+	cases := []struct {
+		q    string
+		w, d int
+	}{
+		{"Q(A, C) = R(A, B), S(B, C)", 2, 1},
+		{"Q(A) = R(A, B), S(B)", 1, 1},
+		{"Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)", 3, 3},
+		{"Q(A, D, E) = R(A, B, C), S(A, B, D), T(A, E)", 1, 1},
+		{"Q(A, B) = R(A, B), S(B)", 1, 0},
+	}
+	for _, c := range cases {
+		o := canon(t, c.q)
+		f := o.FreeTop()
+		if got := f.StaticWidth(); got != c.w {
+			t.Errorf("StaticWidth(free-top(%s)) = %d, want %d", c.q, got, c.w)
+		}
+		if got := f.DynamicWidth(); got != c.d {
+			t.Errorf("DynamicWidth(free-top(%s)) = %d, want %d", c.q, got, c.d)
+		}
+	}
+}
+
+// Cross-check: the literal Definition 15/16 evaluation on the free-top
+// transform of the canonical order must agree with the closed-form widths
+// computed by internal/query, on random hierarchical queries. This pins the
+// two independent implementations against each other (and against
+// Lemmas 33, 36, 37 of the paper).
+func TestWidthsCrossCheckRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2020))
+	opt := query.DefaultGenOptions()
+	for i := 0; i < 300; i++ {
+		q := query.RandomHierarchical(rng, opt)
+		o, err := Canonical(q)
+		if err != nil {
+			t.Fatalf("canonical(%s): %v", q, err)
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("invalid canonical order for %s: %v", q, err)
+		}
+		if !o.IsCanonical() {
+			t.Fatalf("order not canonical for %s: %s", q, o)
+		}
+		f := o.FreeTop()
+		if err := f.Validate(); err != nil {
+			t.Fatalf("invalid free-top order for %s: %v\norder: %s", q, err, f)
+		}
+		if !f.IsFreeTop() {
+			t.Fatalf("transform not free-top for %s: %s", q, f)
+		}
+		if got, want := f.StaticWidth(), q.StaticWidth(); got != want {
+			t.Fatalf("static width mismatch for %s: order=%d closed-form=%d\norder: %s", q, got, want, f)
+		}
+		if got, want := f.DynamicWidth(), q.DynamicWidth(); got != want {
+			t.Fatalf("dynamic width mismatch for %s: order=%d closed-form=%d\norder: %s", q, got, want, f)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	o := canon(t, "Q(A) = R(A, B), S(B)")
+	c := o.Clone()
+	c.Roots[0].Var = "Z"
+	if o.Roots[0].Var == "Z" {
+		t.Fatalf("Clone aliases original")
+	}
+}

@@ -1,0 +1,149 @@
+package vorder
+
+import (
+	"fmt"
+
+	"ivmeps/internal/tuple"
+)
+
+// Dep computes dep_ω(X) for every variable of the order (Definition 13):
+// the ancestors of X on which the variables of the subtree rooted at X
+// (including X) depend, where two variables depend on each other iff they
+// co-occur in some atom of the query.
+func (o *Order) Dep() map[tuple.Variable]tuple.Schema {
+	dep := map[tuple.Variable]tuple.Schema{}
+	o.Walk(func(n *Node) {
+		if !n.IsVar() {
+			return
+		}
+		sub := n.SubVars()
+		var d tuple.Schema
+		for _, a := range n.Anc() {
+			for _, z := range sub {
+				if o.Q.Depends(a, z) {
+					d = append(d, a)
+					break
+				}
+			}
+		}
+		dep[n.Var] = d
+	})
+	return dep
+}
+
+// StaticWidth evaluates w(ω) = max_X ρ*({X} ∪ dep(X)) (Definition 15),
+// using the integral edge cover number, which equals the fractional one for
+// hierarchical queries (Lemma 30).
+func (o *Order) StaticWidth() int {
+	dep := o.Dep()
+	w := 0
+	o.Walk(func(n *Node) {
+		if !n.IsVar() {
+			return
+		}
+		target := tuple.Schema{n.Var}.Union(dep[n.Var])
+		if c := o.Q.MinEdgeCover(target); c > w {
+			w = c
+		}
+	})
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// DynamicWidth evaluates δ(ω) = max_X max_{R(Y) ∈ atoms(ω_X)}
+// ρ*(({X} ∪ dep(X)) − Y) (Definition 16).
+func (o *Order) DynamicWidth() int {
+	dep := o.Dep()
+	d := 0
+	o.Walk(func(n *Node) {
+		if !n.IsVar() {
+			return
+		}
+		base := tuple.Schema{n.Var}.Union(dep[n.Var])
+		for _, a := range n.SubAtoms() {
+			rest := base.Minus(a.Vars)
+			if c := o.Q.MinEdgeCover(rest); c > d {
+				d = c
+			}
+		}
+	})
+	return d
+}
+
+// Validate checks that the order is a valid variable order for its query
+// (Definition 13): every variable and every atom occurs exactly once, the
+// variables of each atom lie on the atom's root path, each atom is a child
+// of its lowest variable (or a root, for nullary atoms), and the dep
+// condition dep(Y) ⊆ dep(X) ∪ {X} holds for every child variable Y of X.
+func (o *Order) Validate() error {
+	seenVar := map[tuple.Variable]int{}
+	seenAtom := map[string]int{}
+	var atomNodes []*Node
+	o.Walk(func(n *Node) {
+		if n.IsVar() {
+			seenVar[n.Var]++
+		} else {
+			seenAtom[n.Atom.Rel]++
+			atomNodes = append(atomNodes, n)
+		}
+	})
+	for _, v := range o.Q.Vars() {
+		if seenVar[v] != 1 {
+			return fmt.Errorf("vorder: variable %s occurs %d times", v, seenVar[v])
+		}
+	}
+	if len(atomNodes) != len(o.Q.Atoms) {
+		return fmt.Errorf("vorder: %d atom leaves for %d query atoms", len(atomNodes), len(o.Q.Atoms))
+	}
+	for _, n := range atomNodes {
+		anc := n.Anc()
+		if !anc.ContainsAll(n.Atom.Vars) {
+			return fmt.Errorf("vorder: atom %s not below all its variables (path %v)", n.Atom, anc)
+		}
+		if len(n.Atom.Vars) == 0 {
+			if n.Parent != nil {
+				return fmt.Errorf("vorder: nullary atom %s not a root", n.Atom)
+			}
+			continue
+		}
+		if !n.Atom.Vars.Contains(n.Parent.Var) {
+			return fmt.Errorf("vorder: atom %s is a child of %s, which is not one of its variables", n.Atom, n.Parent.Var)
+		}
+	}
+	dep := o.Dep()
+	var err error
+	o.Walk(func(n *Node) {
+		if err != nil || !n.IsVar() {
+			return
+		}
+		for _, c := range n.Children {
+			if !c.IsVar() {
+				continue
+			}
+			allowed := dep[n.Var].Union(tuple.Schema{n.Var})
+			for _, v := range dep[c.Var] {
+				if !allowed.Contains(v) {
+					err = fmt.Errorf("vorder: dep(%s) contains %s, outside dep(%s) ∪ {%s}", c.Var, v, n.Var, n.Var)
+				}
+			}
+		}
+	})
+	return err
+}
+
+// IsCanonical reports whether the variables of the leaf atom of each
+// root-to-leaf path are exactly the inner variable nodes of that path.
+func (o *Order) IsCanonical() bool {
+	ok := true
+	o.Walk(func(n *Node) {
+		if n.Atom == nil {
+			return
+		}
+		if !n.Anc().SameSet(n.Atom.Vars) {
+			ok = false
+		}
+	})
+	return ok
+}

@@ -1,0 +1,265 @@
+// Package ivmeps is a maintained-query engine for hierarchical conjunctive
+// queries with a tunable trade-off between preprocessing time, single-tuple
+// update time, and enumeration delay, implementing
+//
+//	Kara, Nikolic, Olteanu, Zhang.
+//	"Trade-offs in Static and Dynamic Evaluation of Hierarchical Queries."
+//	PODS 2020 (arXiv:1907.01988).
+//
+// For a hierarchical query with static width w and dynamic width δ and a
+// database of size N, an engine built at ε ∈ [0, 1] provides
+//
+//	preprocessing       O(N^(1+(w−1)ε))
+//	enumeration delay   O(N^(1−ε))
+//	amortized update    O(N^(δε))
+//
+// Free-connex queries get O(N) preprocessing and O(1) delay at every ε;
+// q-hierarchical queries additionally get O(1) updates (δ = 0).
+//
+// Basic use:
+//
+//	q, _ := ivmeps.ParseQuery("Q(A, C) = R(A, B), S(B, C)")
+//	e, _ := ivmeps.New(q, ivmeps.Options{Epsilon: 0.5})
+//	e.Load("R", [][]int64{{1, 10}, {2, 10}}...)
+//	e.Load("S", [][]int64{{10, 7}}...)
+//	e.Build()
+//	e.Insert("R", []int64{3, 10})
+//	e.Enumerate(func(row []int64, mult int64) bool { ...; return true })
+package ivmeps
+
+import (
+	"fmt"
+
+	"ivmeps/internal/core"
+	"ivmeps/internal/naive"
+	"ivmeps/internal/query"
+	"ivmeps/internal/relation"
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+)
+
+// Query is a parsed conjunctive query.
+type Query struct {
+	q *query.Query
+}
+
+// ParseQuery parses a query in the paper's notation, e.g.
+// "Q(A, C) = R(A, B), S(B, C)". The head lists the free variables; a
+// Boolean query has an empty head.
+func ParseQuery(s string) (*Query, error) {
+	q, err := query.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// MustParseQuery is ParseQuery that panics on error, for query literals.
+func MustParseQuery(s string) *Query {
+	q, err := ParseQuery(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String renders the query.
+func (q *Query) String() string { return q.q.String() }
+
+// Relations returns the distinct relation symbols of the query body.
+func (q *Query) Relations() []string { return q.q.RelationNames() }
+
+// Schema returns the variable names of a relation's atom, or nil if the
+// relation does not occur in the query.
+func (q *Query) Schema(rel string) []string {
+	for _, a := range q.q.Atoms {
+		if a.Rel == rel {
+			out := make([]string, len(a.Vars))
+			for i, v := range a.Vars {
+				out[i] = string(v)
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// Class describes where a query sits in the paper's taxonomy (Figure 2) and
+// its width measures.
+type Class struct {
+	Hierarchical  bool
+	QHierarchical bool // δ0-hierarchical (Proposition 6)
+	AlphaAcyclic  bool
+	FreeConnex    bool
+	StaticWidth   int // w: preprocessing exponent is 1+(w−1)ε; 0 if not hierarchical
+	DynamicWidth  int // δ: update exponent is δε; equals the δi rank; 0 if not hierarchical
+}
+
+// Classify computes the query's class and width measures.
+func (q *Query) Classify() Class {
+	c := query.Classify(q.q)
+	return Class{
+		Hierarchical:  c.Hierarchical,
+		QHierarchical: c.QHierarchical,
+		AlphaAcyclic:  c.AlphaAcyclic,
+		FreeConnex:    c.FreeConnex,
+		StaticWidth:   c.StaticWidth,
+		DynamicWidth:  c.DynamicWidth,
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Epsilon is the trade-off parameter ε ∈ [0, 1]: 0 minimizes
+	// preprocessing and update time, 1 minimizes delay.
+	Epsilon float64
+	// Static builds a static-evaluation engine: fewer auxiliary views, but
+	// Insert/Delete/Apply after Build are rejected.
+	Static bool
+}
+
+// Engine maintains a hierarchical query under single-tuple updates and
+// enumerates its distinct result tuples with multiplicities.
+type Engine struct {
+	q       *Query
+	e       *core.Engine
+	initial naive.Database
+	built   bool
+}
+
+// New creates an engine. The query must be hierarchical (use Classify to
+// check); non-hierarchical queries are rejected with an error, matching the
+// scope of the paper's algorithms.
+func New(q *Query, opts Options) (*Engine, error) {
+	mode := viewtree.Dynamic
+	if opts.Static {
+		mode = viewtree.Static
+	}
+	e, err := core.New(q.q, core.Options{Mode: mode, Epsilon: opts.Epsilon})
+	if err != nil {
+		return nil, err
+	}
+	eng := &Engine{q: q, e: e, initial: naive.Database{}}
+	for _, a := range q.q.Atoms {
+		if _, ok := eng.initial[a.Rel]; !ok {
+			eng.initial[a.Rel] = relation.New(a.Rel, a.Vars)
+		}
+	}
+	return eng, nil
+}
+
+// Load bulk-inserts rows (with multiplicity 1) into a relation before
+// Build. Duplicate rows accumulate multiplicity.
+func (e *Engine) Load(rel string, rows ...[]int64) error {
+	for _, r := range rows {
+		if err := e.LoadWeighted(rel, r, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadWeighted bulk-inserts one row with a positive multiplicity before
+// Build.
+func (e *Engine) LoadWeighted(rel string, row []int64, mult int64) error {
+	if e.built {
+		return fmt.Errorf("ivmeps: Load after Build; use Insert/Delete/Apply")
+	}
+	r, ok := e.initial[rel]
+	if !ok {
+		return fmt.Errorf("ivmeps: relation %q not in query %s", rel, e.q)
+	}
+	if mult <= 0 {
+		return fmt.Errorf("ivmeps: initial multiplicity must be positive, got %d", mult)
+	}
+	return r.Add(tuple.Tuple(row), mult)
+}
+
+// Build runs the preprocessing stage over the loaded data. It must be
+// called exactly once, before any Insert/Delete/Apply/Enumerate.
+func (e *Engine) Build() error {
+	if e.built {
+		return fmt.Errorf("ivmeps: Build called twice")
+	}
+	if err := core.Preprocess(e.e, e.initial); err != nil {
+		return err
+	}
+	e.built = true
+	e.initial = nil
+	return nil
+}
+
+// Insert applies the single-tuple insert {row → 1}.
+func (e *Engine) Insert(rel string, row []int64) error { return e.Apply(rel, row, 1) }
+
+// Delete applies the single-tuple delete {row → −1}. Deleting more than the
+// stored multiplicity is rejected.
+func (e *Engine) Delete(rel string, row []int64) error { return e.Apply(rel, row, -1) }
+
+// Apply applies the single-tuple update {row → mult} (positive to insert,
+// negative to delete). The amortized cost is O(N^(δε)).
+func (e *Engine) Apply(rel string, row []int64, mult int64) error {
+	if !e.built {
+		return fmt.Errorf("ivmeps: Apply before Build")
+	}
+	return e.e.Update(rel, tuple.Tuple(row), mult)
+}
+
+// Enumerate yields every distinct result tuple (over the query's free
+// variables, in head order) with its multiplicity, with O(N^(1−ε)) delay.
+// The row slice is reused between calls; copy it to retain. Return false to
+// stop early.
+func (e *Engine) Enumerate(yield func(row []int64, mult int64) bool) {
+	e.e.Enumerate(func(t tuple.Tuple, m int64) bool { return yield(t, m) })
+}
+
+// Rows materializes the full result as (row, multiplicity) pairs; intended
+// for small results and tests.
+func (e *Engine) Rows() (rows [][]int64, mults []int64) {
+	e.Enumerate(func(row []int64, m int64) bool {
+		c := make([]int64, len(row))
+		copy(c, row)
+		rows = append(rows, c)
+		mults = append(mults, m)
+		return true
+	})
+	return rows, mults
+}
+
+// Count returns the number of distinct result tuples (by enumeration).
+func (e *Engine) Count() int {
+	n := 0
+	e.Enumerate(func([]int64, int64) bool { n++; return true })
+	return n
+}
+
+// N returns the current database size: the total number of distinct tuples
+// across the query's relations.
+func (e *Engine) N() int { return e.e.N() }
+
+// Epsilon returns the engine's trade-off parameter.
+func (e *Engine) Epsilon() float64 { return e.e.Epsilon() }
+
+// Stats reports maintenance activity counters.
+type Stats struct {
+	Updates         int64
+	MinorRebalances int64
+	MajorRebalances int64
+	ViewDeltas      int64
+}
+
+// Explain returns a human-readable description of the engine's strategy:
+// the query's classification, the cost guarantees at this ε, and the view
+// trees, heavy/light indicators, and relation partitions it maintains.
+func (e *Engine) Explain() string { return e.e.Explain() }
+
+// Stats returns activity counters.
+func (e *Engine) Stats() Stats {
+	s := e.e.Stats()
+	return Stats{
+		Updates:         s.Updates,
+		MinorRebalances: s.MinorRebalances,
+		MajorRebalances: s.MajorRebalances,
+		ViewDeltas:      s.DeltasApplied,
+	}
+}

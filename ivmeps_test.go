@@ -1,0 +1,152 @@
+package ivmeps
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	q, err := ParseQuery("Q(A, C) = R(A, B), S(B, C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := q.Classify()
+	if !c.Hierarchical || c.StaticWidth != 2 || c.DynamicWidth != 1 || c.FreeConnex {
+		t.Fatalf("classify = %+v", c)
+	}
+	e, err := New(q, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("R", []int64{1, 10}, []int64{2, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("S", []int64{10, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 2 || e.N() != 3 {
+		t.Fatalf("count=%d N=%d", e.Count(), e.N())
+	}
+	if err := e.Insert("R", []int64{3, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete("R", []int64{1, 10}); err != nil {
+		t.Fatal(err)
+	}
+	rows, mults := e.Rows()
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
+	if len(rows) != 2 || rows[0][0] != 2 || rows[0][1] != 7 || rows[1][0] != 3 {
+		t.Fatalf("rows = %v %v", rows, mults)
+	}
+	if e.Epsilon() != 0.5 {
+		t.Fatalf("epsilon = %v", e.Epsilon())
+	}
+	if s := e.Stats(); s.Updates != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	if _, err := ParseQuery("nope("); err == nil {
+		t.Fatal("bad parse accepted")
+	}
+	if _, err := New(MustParseQuery("Q() = R(A, B), S(B, C), T(A, C)"), Options{}); err == nil {
+		t.Fatal("triangle accepted")
+	}
+	q := MustParseQuery("Q(A) = R(A, B), S(B)")
+	e, err := New(q, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("Z", []int64{1}); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if err := e.LoadWeighted("R", []int64{1, 2}, 0); err == nil {
+		t.Fatal("zero multiplicity accepted")
+	}
+	if err := e.Apply("R", []int64{1, 2}, 1); err == nil {
+		t.Fatal("apply before build accepted")
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Build(); err == nil {
+		t.Fatal("double build accepted")
+	}
+	if err := e.Load("R", []int64{1, 2}); err == nil {
+		t.Fatal("load after build accepted")
+	}
+	if err := e.Delete("R", []int64{9, 9}); err == nil {
+		t.Fatal("over-delete accepted")
+	}
+
+	static, err := New(q, Options{Static: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := static.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := static.Insert("R", []int64{1, 2}); err == nil {
+		t.Fatal("static engine accepted insert")
+	}
+}
+
+func TestPublicAPIQueryAccessors(t *testing.T) {
+	q := MustParseQuery("Q(A) = R(A, B), S(B)")
+	rels := q.Relations()
+	if len(rels) != 2 || rels[0] != "R" || rels[1] != "S" {
+		t.Fatalf("relations = %v", rels)
+	}
+	if s := q.Schema("R"); len(s) != 2 || s[0] != "A" || s[1] != "B" {
+		t.Fatalf("schema = %v", s)
+	}
+	if q.Schema("Z") != nil {
+		t.Fatal("schema of unknown relation non-nil")
+	}
+	if q.String() != "Q(A) = R(A, B), S(B)" {
+		t.Fatalf("string = %s", q.String())
+	}
+}
+
+func TestPublicAPIBooleanAndEarlyStop(t *testing.T) {
+	q := MustParseQuery("Q() = R(A, B), S(B)")
+	e, err := New(q, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("R", []int64{1, 5}, []int64{2, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load("S", []int64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	rows, mults := e.Rows()
+	if len(rows) != 1 || len(rows[0]) != 0 || mults[0] != 2 {
+		t.Fatalf("boolean result = %v %v", rows, mults)
+	}
+	// Early stop.
+	big, _ := New(MustParseQuery("Q(A) = R(A)"), Options{})
+	for i := int64(0); i < 100; i++ {
+		if err := big.Load("R", []int64{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := big.Build(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	big.Enumerate(func(row []int64, m int64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop yielded %d", n)
+	}
+}
