@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the tier-1 gate; `make bench`
+# refreshes the update/batch perf trajectory in BENCH_update.json (compare
+# against the committed baseline before merging hot-path changes).
+
+GO ?= go
+
+.PHONY: check test vet bench bench-all
+
+check: vet test
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Update-path microbenchmarks with allocation reporting, recorded as JSON.
+# The raw output is kept in BENCH_update.txt for eyeballing.
+bench:
+	$(GO) test -run '^$$' -bench 'Update|Batch' -benchmem | tee BENCH_update.txt
+	$(GO) run ./cmd/bench2json < BENCH_update.txt > BENCH_update.json
+	@rm -f BENCH_update.txt
+	@echo wrote BENCH_update.json
+
+# Full experiment sweep (slow); see cmd/hiqbench for options.
+bench-all:
+	$(GO) run ./cmd/hiqbench -quick

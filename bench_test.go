@@ -103,6 +103,113 @@ func BenchmarkFig1DynamicUpdate(b *testing.B) {
 	}
 }
 
+// BenchmarkUpdateSteadyState measures the allocation-sensitive inner loop of
+// the update path: single-tuple updates in a steady state (no growth, no
+// rebalancing pressure), on a q-hierarchical query whose per-update cost the
+// paper bounds by O(1) and on the non-q-hierarchical two-path query. Run with
+// -benchmem; the allocs/op column is the headline number.
+func BenchmarkUpdateSteadyState(b *testing.B) {
+	cases := []struct {
+		name string
+		q    string
+		eps  float64
+		gen  func(rng *rand.Rand) naive.Database
+	}{
+		{"q-hierarchical", "Q(A, B) = R(A, B), S(B)", 0.5,
+			func(rng *rand.Rand) naive.Database { return workload.TwoPathUnary(rng, benchN, 1.1) }},
+		{"two-path", "Q(A, C) = R(A, B), S(B, C)", 0.5,
+			func(rng *rand.Rand) naive.Database { return workload.TwoPath(rng, benchN, 1.15) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			q := query.MustParse(c.q)
+			rng := rand.New(rand.NewSource(31))
+			db := c.gen(rng)
+			sys := mustIVM(b, q, c.eps, db.Clone())
+			stream := workload.UpdateStream(rng, q, db, 4096, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			replayStream(b, sys, stream)
+		})
+	}
+}
+
+// BenchmarkBatchVsSequential measures the batch-update amortization: one op
+// = applying a 10k-row mixed insert/delete batch and then its inverse
+// (keeping the database bounded), either row-by-row with Update or in one
+// ApplyBatch pass. The batch variant walks each view tree once per batch
+// instead of once per row.
+func BenchmarkBatchVsSequential(b *testing.B) {
+	const batchRows = 10000
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	makeBatch := func(rng *rand.Rand) ([]tuple.Tuple, []int64, []tuple.Tuple, []int64) {
+		// 10k rows over 4k distinct fresh tuples: duplicates exercise the
+		// per-leaf aggregation, and the distinct count stays small enough
+		// relative to N that neither the batch nor its inverse crosses a
+		// rebalancing threshold (the cost compared is pure maintenance).
+		pool := make([]tuple.Tuple, 4000)
+		for i := range pool {
+			pool[i] = tuple.Tuple{1_000_000 + int64(i), rng.Int63n(400)}
+		}
+		rows := make([]tuple.Tuple, batchRows)
+		mults := make([]int64, batchRows)
+		inv := make([]tuple.Tuple, batchRows)
+		invMults := make([]int64, batchRows)
+		for i := range rows {
+			rows[i] = pool[rng.Intn(len(pool))]
+			mults[i] = 1
+			inv[len(inv)-1-i] = rows[i]
+			invMults[len(inv)-1-i] = -1
+		}
+		return rows, mults, inv, invMults
+	}
+	newEngine := func(b *testing.B, rng *rand.Rand) *core.Engine {
+		db := workload.TwoPath(rng, benchN, 1.15)
+		e, err := core.New(q, core.Options{Mode: viewtree.Dynamic, Epsilon: 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := core.Preprocess(e, db); err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	b.Run("sequential", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(41))
+		e := newEngine(b, rng)
+		rows, mults, inv, invMults := makeBatch(rng)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range rows {
+				if err := e.Update("R", rows[j], mults[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for j := range inv {
+				if err := e.Update("R", inv[j], invMults[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(41))
+		e := newEngine(b, rng)
+		rows, mults, inv, invMults := makeBatch(rng)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := e.ApplyBatch("R", rows, mults); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.ApplyBatch("R", inv, invMults); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFig1Delay measures the enumeration delay of Figure 1 (left):
 // one op = producing one distinct result tuple (expected O(N^(1−ε))).
 func BenchmarkFig1Delay(b *testing.B) {

@@ -9,9 +9,13 @@
 //	hiqbench -exp fig3,ex28   # selected experiments
 //	hiqbench -list            # list experiment IDs
 //	hiqbench -o report.md     # write the report to a file
+//	hiqbench -json            # emit machine-readable JSON instead of
+//	                          # markdown (feeds the BENCH_*.json trajectory
+//	                          # files directly)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,13 +26,39 @@ import (
 	"ivmeps/internal/experiments"
 )
 
+// jsonReport is the machine-readable -json output: one entry per
+// experiment, with the same tables and measured-vs-predicted checks as the
+// markdown report.
+type jsonReport struct {
+	Generated time.Time        `json:"generated"`
+	Quick     bool             `json:"quick"`
+	Seed      int64            `json:"seed"`
+	Results   []jsonExperiment `json:"results"`
+}
+
+type jsonExperiment struct {
+	ID         string              `json:"id"`
+	Title      string              `json:"title"`
+	Tables     []*benchutilTable   `json:"tables,omitempty"`
+	Checks     []experiments.Check `json:"checks,omitempty"`
+	Notes      []string            `json:"notes,omitempty"`
+	WallMillis int64               `json:"wall_millis"`
+}
+
+// benchutilTable mirrors benchutil.Table with JSON field names.
+type benchutilTable struct {
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		seed    = flag.Int64("seed", 2020, "workload generator seed")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		outPath = flag.String("o", "", "write the report to this file instead of stdout")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		seed     = flag.Int64("seed", 2020, "workload generator seed")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		outPath  = flag.String("o", "", "write the report to this file instead of stdout")
+		jsonFlag = flag.Bool("json", false, "emit JSON instead of markdown")
 	)
 	flag.Parse()
 
@@ -65,13 +95,42 @@ func main() {
 		}
 	}
 
-	fmt.Fprintf(out, "# IVM^ε experiment report\n\n")
-	fmt.Fprintf(out, "Generated %s; quick=%v seed=%d.\n\n", time.Now().Format(time.RFC3339), *quick, *seed)
+	// One run loop for both output modes: markdown renders each experiment
+	// as it finishes (so a long sweep streams to the file/terminal), JSON
+	// must buffer the whole report.
+	rep := jsonReport{Generated: time.Now(), Quick: *quick, Seed: *seed}
+	if !*jsonFlag {
+		fmt.Fprintf(out, "# IVM^ε experiment report\n\n")
+		fmt.Fprintf(out, "Generated %s; quick=%v seed=%d.\n\n", time.Now().Format(time.RFC3339), *quick, *seed)
+	}
 	for _, e := range selected {
 		fmt.Fprintf(os.Stderr, "running %s ...\n", e.ID)
 		start := time.Now()
 		res := e.Run(cfg)
-		fmt.Fprint(out, res.Render())
-		fmt.Fprintf(out, "_(experiment wall time: %v)_\n\n", time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		if !*jsonFlag {
+			fmt.Fprint(out, res.Render())
+			fmt.Fprintf(out, "_(experiment wall time: %v)_\n\n", wall.Round(time.Millisecond))
+			continue
+		}
+		je := jsonExperiment{
+			ID:         res.ID,
+			Title:      res.Title,
+			Checks:     res.Checks,
+			Notes:      res.Notes,
+			WallMillis: wall.Milliseconds(),
+		}
+		for _, t := range res.Tables {
+			je.Tables = append(je.Tables, &benchutilTable{Header: t.Header, Rows: t.Rows})
+		}
+		rep.Results = append(rep.Results, je)
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "hiqbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,3 @@
+module ivmeps
+
+go 1.24

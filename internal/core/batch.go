@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"ivmeps/internal/relation"
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+)
+
+// Batch updates: ApplyBatch applies a sequence of single-tuple updates as
+// one maintenance pass. The batch is aggregated into one delta per leaf, so
+// each view tree is walked once for the whole batch instead of once per
+// update, and the minor/major rebalance checks run once per distinct
+// partition key instead of once per update. The result is observably
+// equivalent to applying the updates one by one with Update: the enumerated
+// query result, the database size N, and the engine invariants
+// (CheckInvariants) all match; internal state that the paper leaves
+// implementation-defined — the exact threshold base M after growth and
+// which keys sit in the light parts — may differ within the allowed
+// invariants, exactly as a different update order would.
+
+// ApplyBatch applies the updates {rows[i] → mults[i]} to relation rel as
+// one batch. A nil mults applies every row with multiplicity +1. Rows are
+// validated first, in order, against the stored multiplicities plus the
+// preceding rows of the batch; on a validation error (arity mismatch or a
+// delete exceeding the available multiplicity) the engine is left
+// completely unchanged, unlike a sequential Update loop, which would have
+// applied the prefix.
+func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error {
+	if !e.preprocessed {
+		return fmt.Errorf("core: ApplyBatch before Preprocess")
+	}
+	if e.opts.Mode != viewtree.Dynamic {
+		return fmt.Errorf("core: engine built in static mode; rebuild with Mode: Dynamic for updates")
+	}
+	occ, ok := e.occ[rel]
+	if !ok {
+		return fmt.Errorf("core: relation %s not in query %s", rel, e.orig)
+	}
+	if mults != nil && len(mults) != len(rows) {
+		return fmt.Errorf("core: ApplyBatch: %d rows but %d multiplicities", len(rows), len(mults))
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	first := e.base[occ[0]]
+	arity := len(first.Schema())
+
+	// Validate the whole batch in order against the first occurrence,
+	// tracking the running multiplicity of each distinct tuple, and
+	// aggregate the net delta per tuple in first-seen order.
+	type group struct {
+		t      tuple.Tuple
+		net    int64
+		stored int64
+	}
+	groups := make([]group, 0, len(rows))
+	byKey := make(map[tuple.Key]int, len(rows))
+	applied := 0
+	var kb []byte // reusable key buffer: allocate a key string only per distinct tuple
+	for i, row := range rows {
+		m := int64(1)
+		if mults != nil {
+			m = mults[i]
+		}
+		if m == 0 {
+			continue
+		}
+		if len(row) != arity {
+			return fmt.Errorf("core: relation %s: tuple %v does not match schema %v", rel, row, first.Schema())
+		}
+		kb = tuple.AppendKey(kb[:0], row)
+		gi, seen := byKey[tuple.Key(kb)]
+		if !seen {
+			gi = len(groups)
+			groups = append(groups, group{t: row, stored: first.Mult(row)})
+			byKey[tuple.Key(kb)] = gi
+		}
+		g := &groups[gi]
+		if g.stored+g.net+m < 0 {
+			return &relation.ErrNegative{Relation: rel, Tuple: row.Clone(), Have: g.stored + g.net, Delta: m}
+		}
+		g.net += m
+		applied++
+	}
+
+	// One aggregated delta for the whole batch; zero-net tuples drop out.
+	d := e.getDelta()
+	for i := range groups {
+		if groups[i].net != 0 {
+			d.appendRow(groups[i].t, groups[i].net)
+		}
+	}
+	if len(d.rows) > 0 {
+		// Footnote 2: an update to a repeated relation symbol is a sequence
+		// of updates to each occurrence.
+		for _, o := range occ {
+			e.applyBatchOcc(e.routes[o], d)
+		}
+	}
+	e.putDelta(d)
+	e.stats.Updates += int64(applied)
+	return nil
+}
+
+// batchKey is the per-distinct-partition-key state of one batch.
+type batchKey struct {
+	key      tuple.Tuple
+	preDeg   int  // full degree before the batch
+	preLight bool // key was in the light part's domain before the batch
+	rows     []int
+}
+
+// applyBatchOcc applies the aggregated batch delta d to one occurrence
+// relation: UpdateTrees (Figure 19) with the per-update work hoisted to
+// per-batch or per-distinct-key, followed by the OnUpdate rebalancing
+// trigger (Figure 22) evaluated once.
+func (e *Engine) applyBatchOcc(rt *relRoutes, d *delta) {
+	base := rt.base
+
+	// Capture the pre-update partition state per distinct key (Figure 19
+	// line 10 needs the pre-update degrees to route to the light parts).
+	perPart := make([][]batchKey, len(rt.parts))
+	var kb []byte
+	for pi, pr := range rt.parts {
+		keys := perPart[pi]
+		byKey := map[tuple.Key]int{}
+		for ri := range d.rows {
+			pr.keyScratch = pr.p.AppendKeyOf(pr.keyScratch[:0], d.rows[ri].t)
+			kb = tuple.AppendKey(kb[:0], pr.keyScratch)
+			ki, ok := byKey[tuple.Key(kb)]
+			if !ok {
+				ki = len(keys)
+				keys = append(keys, batchKey{
+					key:      pr.keyScratch.Clone(),
+					preDeg:   pr.p.Degree(pr.keyScratch),
+					preLight: pr.p.IsLight(pr.keyScratch),
+				})
+				byKey[tuple.Key(kb)] = ki
+			}
+			keys[ki].rows = append(keys[ki].rows, ri)
+		}
+		perPart[pi] = keys
+	}
+
+	// Apply the batch to the base relation, maintaining N incrementally,
+	// and propagate the combined delta through every main tree and every
+	// affected All tree.
+	before := base.Size()
+	for i := range d.rows {
+		base.MustAdd(d.rows[i].t, d.rows[i].m)
+	}
+	if rt.countsN {
+		e.n += base.Size() - before
+	}
+	for _, lp := range rt.atomLeaves {
+		e.propagatePath(lp, d)
+	}
+	for _, ir := range rt.inds {
+		for _, lp := range ir.allLeaves {
+			e.propagatePath(lp, d)
+		}
+		// δ(∃H) once per distinct indicator key of the batch.
+		e.refreshBatchH(ir, d)
+	}
+
+	// Major rebalancing, if the batch moved N outside [⌊M/4⌋, M): adjust M
+	// until the size invariant holds again (a large batch can cross several
+	// doublings at once) and recompute. The strict repartition also
+	// re-derives every light part, so the per-key light routing below is
+	// subsumed.
+	if e.n >= e.m || e.n < e.m/4 {
+		for e.n >= e.m {
+			e.setM(2 * e.m)
+		}
+		for e.n < e.m/4 {
+			old := e.m
+			e.setM(e.m/2 - 1)
+			if e.m == old {
+				break
+			}
+		}
+		e.majorRebalance()
+		return
+	}
+
+	// Route to the light parts, one combined delta per partition: a key's
+	// rows go to the light part if the key was new or light before the
+	// batch; then run the minor-rebalancing checks once per distinct key.
+	theta := e.Theta()
+	for pi, pr := range rt.parts {
+		keys := perPart[pi]
+		ld := e.getDelta()
+		for ki := range keys {
+			bk := &keys[ki]
+			if !bk.preLight && bk.preDeg != 0 {
+				continue
+			}
+			for _, ri := range bk.rows {
+				ld.appendRow(d.rows[ri].t, d.rows[ri].m)
+			}
+		}
+		if len(ld.rows) > 0 {
+			light := pr.p.Light()
+			for i := range ld.rows {
+				light.MustAdd(ld.rows[i].t, ld.rows[i].m)
+			}
+			for _, lp := range pr.lightLeaves {
+				e.propagatePath(lp, ld)
+			}
+			for _, il := range pr.inds {
+				for _, lp := range il.lLeaves {
+					e.propagatePath(lp, ld)
+				}
+				// The indicator keys equal the partition keys; refresh ∃H
+				// once per light-routed key.
+				for ki := range keys {
+					bk := &keys[ki]
+					if !bk.preLight && bk.preDeg != 0 {
+						continue
+					}
+					if dh := e.refreshH(il.s, bk.key); dh != 0 {
+						e.propagateIndicator(il.s, bk.key, dh)
+					}
+				}
+			}
+		}
+		e.putDelta(ld)
+		for ki := range keys {
+			key := keys[ki].key
+			lightDeg := float64(pr.p.LightDegree(key))
+			fullDeg := float64(pr.p.Degree(key))
+			if lightDeg == 0 && fullDeg > 0 && fullDeg < 0.5*theta {
+				e.minorRebalance(pr, key, true)
+			} else if lightDeg >= 1.5*theta {
+				e.minorRebalance(pr, key, false)
+			}
+		}
+	}
+}
+
+// refreshBatchH refreshes ∃H once per distinct indicator key appearing in
+// the batch delta and propagates the resulting δ(∃H) changes.
+func (e *Engine) refreshBatchH(ir *indRoute, d *delta) {
+	seen := map[tuple.Key]bool{}
+	var kb []byte
+	for i := range d.rows {
+		kb = ir.keyProj.AppendKey(kb[:0], d.rows[i].t)
+		if seen[tuple.Key(kb)] {
+			continue
+		}
+		seen[tuple.Key(kb)] = true
+		ir.keyScratch = ir.keyProj.AppendTo(ir.keyScratch[:0], d.rows[i].t)
+		if dh := e.refreshH(ir.s, ir.keyScratch); dh != 0 {
+			e.propagateIndicator(ir.s, ir.keyScratch, dh)
+		}
+	}
+}

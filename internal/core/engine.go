@@ -71,6 +71,15 @@ type Engine struct {
 	// plans caches delta-propagation join plans per (view, child).
 	plans map[*viewtree.Node]map[*viewtree.Node]*updPlan
 
+	// routes are the precomputed per-relation propagation routes built at
+	// preprocessing time (routes.go); they drive the update hot path.
+	routes map[string]*relRoutes
+
+	// deltaPool recycles deltas (and their row buffers) across propagations;
+	// d1 is the reusable single-row delta of the single-tuple update path.
+	deltaPool []*delta
+	d1        delta
+
 	// Variable slots for enumeration bindings.
 	vars  tuple.Schema
 	slot  map[tuple.Variable]int

@@ -44,9 +44,12 @@ func Preprocess(e *Engine, db naive.Database) error {
 	}
 	e.recomputeN()
 	// The preprocessing stage sets M = 2N + 1, establishing ⌊M/4⌋ ≤ N < M
-	// (proof of Proposition 27).
+	// (proof of Proposition 27). N is maintained incrementally from here on.
 	e.m = 2*e.n + 1
 	e.materializeAll()
+	if e.opts.Mode == viewtree.Dynamic {
+		e.buildRoutes()
+	}
 	e.preprocessed = true
 	return nil
 }
@@ -73,6 +76,9 @@ func (e *Engine) materializeAll() {
 
 // materializeTree computes every view of a tree bottom-up. Leaves (base
 // relations, light parts, heavy indicators) are already materialized.
+// Existing view relations are refilled in place rather than replaced, so
+// the relation pointers cached by the propagation routes and update plans
+// (routes.go) stay valid across major rebalancing.
 func (e *Engine) materializeTree(n *viewtree.Node) {
 	for _, c := range n.Children {
 		e.materializeTree(c)
@@ -80,7 +86,14 @@ func (e *Engine) materializeTree(n *viewtree.Node) {
 	if n.Kind != viewtree.View {
 		return
 	}
-	e.views[n.Name] = e.joinChildren(n)
+	res := e.joinChildren(n)
+	v, ok := e.views[n.Name]
+	if !ok {
+		e.views[n.Name] = res
+		return
+	}
+	v.Clear()
+	res.ForEach(func(t tuple.Tuple, m int64) { v.MustAdd(t, m) })
 }
 
 // joinChildren evaluates V(S) = C1(S1), ..., Ck(Sk) over the children's

@@ -1,0 +1,181 @@
+package core
+
+// Precomputed propagation routes for the update hot path. The view forest
+// is static after Build: which leaves an update to relation R reaches, and
+// the leaf→root path above each of them, never change. Instead of
+// re-discovering that structure on every update (walking every tree to find
+// matching leaves, scanning all partitions and indicators), buildRoutes
+// computes it once at preprocessing time:
+//
+//   - relRoutes:     everything reachable from one occurrence relation —
+//     its Atom leaves in the main trees, the indicators whose All tree
+//     contains it, and the partitions of its light parts;
+//   - leafPath:      the leaf→root chain of (update plan, materialized
+//     view) pairs, so propagation performs zero map lookups;
+//   - indShared:     per-indicator state shared across relations — the
+//     materialized All/L/∃H relations and the IndicatorRef leaves of the
+//     main trees.
+//
+// Route structures cache *relation.Relation pointers, which is sound
+// because materializeAll refills relations in place (identity is stable
+// across major rebalancing). All scratch buffers below make the
+// single-tuple update path allocation-free; the engine is single-threaded.
+
+import (
+	"ivmeps/internal/relation"
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+)
+
+// relRoutes is the full routing table for one occurrence relation.
+type relRoutes struct {
+	rel     string
+	base    *relation.Relation
+	countsN bool // rel is the counting occurrence of its original symbol
+
+	atomLeaves []*leafPath // Atom leaves for rel in the main trees
+	inds       []*indRoute // indicators whose All tree contains rel
+	parts      []*partRoute
+}
+
+// leafPath is the fixed leaf→root propagation chain above one leaf.
+type leafPath struct {
+	leaf  *viewtree.Node
+	edges []pathEdge
+}
+
+// pathEdge is one step of the chain: the delta-propagation plan into the
+// parent view and the parent's materialized relation.
+type pathEdge struct {
+	plan *updPlan
+	view *relation.Relation
+}
+
+// indShared is per-indicator state shared by all relations routing into it.
+type indShared struct {
+	ind       *viewtree.Indicator
+	all, l, h *relation.Relation
+	refLeaves []*leafPath // IndicatorRef leaves for ind in the main trees
+	d1        delta       // scratch delta for δ(∃H) propagation
+}
+
+// indRoute routes one occurrence relation into one indicator's All tree.
+type indRoute struct {
+	s          *indShared
+	keyProj    tuple.Projection // base schema → ind.Keys
+	keyScratch tuple.Tuple
+	allLeaves  []*leafPath // Atom leaves for rel in s.ind.All
+}
+
+// partRoute routes one occurrence relation into one of its partitions.
+type partRoute struct {
+	p           *relation.Partition
+	keyScratch  tuple.Tuple
+	lightLeaves []*leafPath // LightAtom(rel, key) leaves in the main trees
+	inds        []*indLightRoute
+	toLight     bool // per-update routing decision (Figure 19 line 10)
+}
+
+// indLightRoute routes one occurrence relation into one indicator's L tree.
+type indLightRoute struct {
+	s       *indShared
+	lLeaves []*leafPath // LightAtom(rel, key) leaves in s.ind.L
+}
+
+// buildRoutes constructs the routing tables. It requires all views to be
+// materialized (plans cache view relations and sibling indexes).
+func (e *Engine) buildRoutes() {
+	counting := map[string]bool{}
+	for _, occ := range e.occ {
+		counting[occ[0]] = true
+	}
+
+	shared := map[*viewtree.Indicator]*indShared{}
+	for _, ind := range e.forest.Indicators {
+		shared[ind] = &indShared{
+			ind: ind,
+			all: e.relOf(ind.All),
+			l:   e.relOf(ind.L),
+			h:   e.hrels[ind.ID],
+		}
+	}
+	mainTrees := e.forest.Trees()
+	for _, tr := range mainTrees {
+		walkNodes(tr, func(n *viewtree.Node) {
+			if n.Kind == viewtree.IndicatorRef {
+				s := shared[n.Ind]
+				s.refLeaves = append(s.refLeaves, e.buildPath(n))
+			}
+		})
+	}
+
+	e.routes = map[string]*relRoutes{}
+	for occName, base := range e.base {
+		rt := &relRoutes{rel: occName, base: base, countsN: counting[occName]}
+		for _, tr := range mainTrees {
+			walkNodes(tr, func(n *viewtree.Node) {
+				if n.Kind == viewtree.Atom && n.Rel == occName {
+					rt.atomLeaves = append(rt.atomLeaves, e.buildPath(n))
+				}
+			})
+		}
+		for _, ind := range e.forest.Indicators {
+			if !containsRel(ind.Rels, occName) {
+				continue
+			}
+			ir := &indRoute{s: shared[ind], keyProj: tuple.MustProjection(base.Schema(), ind.Keys)}
+			walkNodes(ind.All, func(n *viewtree.Node) {
+				if n.Kind == viewtree.Atom && n.Rel == occName {
+					ir.allLeaves = append(ir.allLeaves, e.buildPath(n))
+				}
+			})
+			rt.inds = append(rt.inds, ir)
+		}
+		for id, p := range e.parts {
+			if id.Rel != occName {
+				continue
+			}
+			pr := &partRoute{p: p}
+			for _, tr := range mainTrees {
+				walkNodes(tr, func(n *viewtree.Node) {
+					if n.Kind == viewtree.LightAtom && n.Rel == occName && n.Keys.Equal(p.Key()) {
+						pr.lightLeaves = append(pr.lightLeaves, e.buildPath(n))
+					}
+				})
+			}
+			for _, ind := range e.forest.Indicators {
+				if !containsRel(ind.Rels, occName) || !ind.Keys.Equal(p.Key()) {
+					continue
+				}
+				il := &indLightRoute{s: shared[ind]}
+				walkNodes(ind.L, func(n *viewtree.Node) {
+					if n.Kind == viewtree.LightAtom && n.Rel == occName && n.Keys.Equal(p.Key()) {
+						il.lLeaves = append(il.lLeaves, e.buildPath(n))
+					}
+				})
+				pr.inds = append(pr.inds, il)
+			}
+			rt.parts = append(rt.parts, pr)
+		}
+		e.routes[occName] = rt
+	}
+}
+
+// buildPath precomputes the propagation chain from leaf to its tree root,
+// building (and caching) the update plan of every step.
+func (e *Engine) buildPath(leaf *viewtree.Node) *leafPath {
+	lp := &leafPath{leaf: leaf}
+	child := leaf
+	for n := leaf.Parent; n != nil; n = n.Parent {
+		lp.edges = append(lp.edges, pathEdge{plan: e.updatePlan(n, child), view: e.views[n.Name]})
+		child = n
+	}
+	return lp
+}
+
+func walkNodes(n *viewtree.Node, fn func(*viewtree.Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		walkNodes(c, fn)
+	}
+}

@@ -11,12 +11,21 @@ import (
 // The maintenance machinery of Section 6: delta propagation along
 // leaf-to-root paths (Apply, Figure 17), indicator maintenance
 // (UpdateIndTree, Figure 18; UpdateTrees, Figure 19), and the rebalancing
-// trigger OnUpdate (Figures 20–22).
+// trigger OnUpdate (Figures 20–22). The static structure of each step —
+// which leaves an update reaches and the plan of every propagation step —
+// is precomputed at Build time (routes.go); the code here only executes
+// those routes, and the single-tuple steady state runs without heap
+// allocation: deltas are pooled, their rows live in reused backing buffers,
+// and every relation probe goes through reusable key buffers.
 
-// delta is a small relation of weighted tuples over a schema.
+// delta is a small relation of weighted tuples. Rows aggregate by tuple:
+// add coalesces equal tuples, by linear scan while the delta is small and
+// through a lazily built key index once it grows.
 type delta struct {
-	schema tuple.Schema
 	rows   []weighted
+	buf    tuple.Tuple       // backing storage for row tuples
+	idx    map[tuple.Key]int // row index by encoded tuple, once rows are many
+	keyBuf []byte
 }
 
 type weighted struct {
@@ -24,8 +33,64 @@ type weighted struct {
 	m int64
 }
 
-func singleDelta(schema tuple.Schema, t tuple.Tuple, m int64) *delta {
-	return &delta{schema: schema, rows: []weighted{{t: t.Clone(), m: m}}}
+// deltaLinearMax is the row count up to which add dedups by linear scan.
+const deltaLinearMax = 16
+
+func (d *delta) reset() {
+	d.rows = d.rows[:0]
+	d.buf = d.buf[:0]
+	d.idx = nil
+}
+
+// appendRow appends {t → m} without checking for an existing equal tuple.
+// The tuple is copied into the delta's backing buffer.
+func (d *delta) appendRow(t tuple.Tuple, m int64) int {
+	start := len(d.buf)
+	d.buf = append(d.buf, t...)
+	d.rows = append(d.rows, weighted{t: d.buf[start:len(d.buf):len(d.buf)], m: m})
+	return len(d.rows) - 1
+}
+
+// add accumulates {t → m} into the delta, aggregating rows by tuple.
+func (d *delta) add(t tuple.Tuple, m int64) {
+	if d.idx == nil {
+		if len(d.rows) <= deltaLinearMax {
+			for i := range d.rows {
+				if d.rows[i].t.Equal(t) {
+					d.rows[i].m += m
+					return
+				}
+			}
+			d.appendRow(t, m)
+			return
+		}
+		d.idx = make(map[tuple.Key]int, 2*len(d.rows))
+		for i := range d.rows {
+			d.idx[tuple.EncodeKey(d.rows[i].t)] = i
+		}
+	}
+	d.keyBuf = tuple.AppendKey(d.keyBuf[:0], t)
+	if i, ok := d.idx[tuple.Key(d.keyBuf)]; ok {
+		d.rows[i].m += m
+		return
+	}
+	d.idx[tuple.Key(d.keyBuf)] = d.appendRow(t, m)
+}
+
+// getDelta and putDelta pool deltas (and their row/tuple buffers) across
+// propagations.
+func (e *Engine) getDelta() *delta {
+	if n := len(e.deltaPool); n > 0 {
+		d := e.deltaPool[n-1]
+		e.deltaPool = e.deltaPool[:n-1]
+		return d
+	}
+	return &delta{}
+}
+
+func (e *Engine) putDelta(d *delta) {
+	d.reset()
+	e.deltaPool = append(e.deltaPool, d)
 }
 
 // Update applies a single-tuple update δR = {t → m} to relation rel:
@@ -47,124 +112,115 @@ func (e *Engine) Update(rel string, t tuple.Tuple, m int64) error {
 	if m == 0 {
 		return nil
 	}
+	first := e.base[occ[0]]
+	if len(t) != len(first.Schema()) {
+		return fmt.Errorf("core: relation %s: tuple %v does not match schema %v", rel, t, first.Schema())
+	}
 	// Validate against the first occurrence (all occurrences are identical).
-	if cur := e.base[occ[0]].Mult(t); cur+m < 0 {
+	if cur := first.Mult(t); cur+m < 0 {
 		return &relation.ErrNegative{Relation: rel, Tuple: t.Clone(), Have: cur, Delta: m}
 	}
 	// Footnote 2: an update to a repeated relation symbol is a sequence of
 	// updates to each occurrence.
 	for _, o := range occ {
-		e.onUpdate(o, t, m)
+		e.onUpdate(e.routes[o], t, m)
 	}
 	e.stats.Updates++
 	return nil
 }
 
+// setM sets the rebalancing threshold base, clamped to ≥ 1 so the size
+// invariant ⌊M/4⌋ ≤ N < M stays meaningful on an empty database.
+func (e *Engine) setM(m int) {
+	if m < 1 {
+		m = 1
+	}
+	e.m = m
+}
+
 // onUpdate is Figure 22 for one occurrence relation.
-func (e *Engine) onUpdate(rel string, t tuple.Tuple, m int64) {
-	e.updateTrees(rel, t, m)
-	e.recomputeN()
+func (e *Engine) onUpdate(rt *relRoutes, t tuple.Tuple, m int64) {
+	e.updateTrees(rt, t, m)
 	switch {
 	case e.n >= e.m:
 		// Double M and recompute (Figure 22, lines 2–4).
-		e.m = 2 * e.m
+		e.setM(2 * e.m)
 		e.majorRebalance()
 	case e.n < e.m/4:
 		// Halve M and recompute (lines 5–7). ⌊M/2⌋ − 1 keeps N < M.
-		e.m = e.m/2 - 1
-		if e.m < 1 {
-			e.m = 1
-		}
+		e.setM(e.m/2 - 1)
 		e.majorRebalance()
 	default:
 		// Minor rebalancing checks per partition of rel (lines 9–15).
 		theta := e.Theta()
-		for id, p := range e.parts {
-			if id.Rel != rel {
-				continue
-			}
-			key := p.KeyOf(t)
-			lightDeg := float64(p.LightDegree(key))
-			fullDeg := float64(p.Degree(key))
+		for _, pr := range rt.parts {
+			pr.keyScratch = pr.p.AppendKeyOf(pr.keyScratch[:0], t)
+			key := pr.keyScratch
+			lightDeg := float64(pr.p.LightDegree(key))
+			fullDeg := float64(pr.p.Degree(key))
 			if lightDeg == 0 && fullDeg > 0 && fullDeg < 0.5*theta {
-				e.minorRebalance(p, key, true)
+				e.minorRebalance(pr, key, true)
 			} else if lightDeg >= 1.5*theta {
-				e.minorRebalance(p, key, false)
+				e.minorRebalance(pr, key, false)
 			}
 		}
 	}
 }
 
-// updateTrees is UpdateTrees (Figure 19).
-func (e *Engine) updateTrees(rel string, t tuple.Tuple, m int64) {
-	base := e.base[rel]
-	d := singleDelta(base.Schema(), t, m)
+// updateTrees is UpdateTrees (Figure 19), driven by the precomputed routes.
+func (e *Engine) updateTrees(rt *relRoutes, t tuple.Tuple, m int64) {
+	base := rt.base
+	d := &e.d1
+	d.reset()
+	d.appendRow(t, m)
 
 	// Pre-update routing decision for the light parts (Figure 19 line 10:
 	// the update belongs to the light part if its key is new or light).
-	type route struct {
-		p       *relation.Partition
-		toLight bool
-		key     tuple.Tuple
-	}
-	var routes []route
-	for id, p := range e.parts {
-		if id.Rel != rel {
-			continue
-		}
-		key := p.KeyOf(t)
-		toLight := p.Degree(key) == 0 || p.IsLight(key)
-		routes = append(routes, route{p: p, toLight: toLight, key: key})
+	for _, pr := range rt.parts {
+		pr.keyScratch = pr.p.AppendKeyOf(pr.keyScratch[:0], t)
+		pr.toLight = pr.p.Degree(pr.keyScratch) == 0 || pr.p.IsLight(pr.keyScratch)
 	}
 
-	// Capture the All-root multiplicities at the update's keys before the
-	// update (Figure 19 line 5).
-	type indState struct {
-		ind    *viewtree.Indicator
-		key    tuple.Tuple
-		before int64
-	}
-	var inds []indState
-	for _, ind := range e.forest.Indicators {
-		if !containsRel(ind.Rels, rel) {
-			continue
-		}
-		key := tuple.Restrict(t, base.Schema(), ind.Keys)
-		inds = append(inds, indState{ind: ind, key: key, before: e.relOf(ind.All).Mult(key)})
-	}
-
-	// Apply δR to the base relation once, then propagate through every
-	// main tree and every affected All tree (Figure 19 lines 1 and 6).
+	// Apply δR to the base relation once, maintaining N incrementally, then
+	// propagate through every main tree and every affected All tree
+	// (Figure 19 lines 1 and 6).
+	before := base.Size()
 	base.MustAdd(t, m)
-	for _, tr := range e.forest.Trees() {
-		e.propagate(tr, viewtree.Atom, rel, nil, d)
+	if rt.countsN {
+		e.n += base.Size() - before
 	}
-	for _, is := range inds {
-		e.propagate(is.ind.All, viewtree.Atom, rel, nil, d)
+	for _, lp := range rt.atomLeaves {
+		e.propagatePath(lp, d)
+	}
+	for _, ir := range rt.inds {
+		for _, lp := range ir.allLeaves {
+			e.propagatePath(lp, d)
+		}
 		// δ(∃H) from the All change (lines 7–9).
-		if dh := e.refreshH(is.ind, is.key); dh != 0 {
-			e.propagateIndicator(is.ind, is.key, dh)
+		ir.keyScratch = ir.keyProj.AppendTo(ir.keyScratch[:0], t)
+		if dh := e.refreshH(ir.s, ir.keyScratch); dh != 0 {
+			e.propagateIndicator(ir.s, ir.keyScratch, dh)
 		}
 	}
 
 	// Route to the light parts (lines 10–14).
-	for _, r := range routes {
-		if !r.toLight {
+	for _, pr := range rt.parts {
+		if !pr.toLight {
 			continue
 		}
-		r.p.Light().MustAdd(t, m)
-		for _, tr := range e.forest.Trees() {
-			e.propagate(tr, viewtree.LightAtom, rel, r.p.Key(), d)
+		pr.p.Light().MustAdd(t, m)
+		for _, lp := range pr.lightLeaves {
+			e.propagatePath(lp, d)
 		}
-		// The light indicator tree and the resulting ∃H change.
-		for _, ind := range e.forest.Indicators {
-			if !containsRel(ind.Rels, rel) || !ind.Keys.Equal(r.p.Key()) {
-				continue
+		// The light indicator trees and the resulting ∃H changes. The
+		// indicator keys equal the partition key (ind.Keys = p.Key()),
+		// still in pr.keyScratch from the routing pass.
+		for _, il := range pr.inds {
+			for _, lp := range il.lLeaves {
+				e.propagatePath(lp, d)
 			}
-			e.propagate(ind.L, viewtree.LightAtom, rel, r.p.Key(), d)
-			key := tuple.Restrict(t, base.Schema(), ind.Keys)
-			if dh := e.refreshH(ind, key); dh != 0 {
-				e.propagateIndicator(ind, key, dh)
+			if dh := e.refreshH(il.s, pr.keyScratch); dh != 0 {
+				e.propagateIndicator(il.s, pr.keyScratch, dh)
 			}
 		}
 	}
@@ -182,16 +238,15 @@ func containsRel(rels []string, r string) bool {
 // refreshH re-derives the heavy indicator bit ∃H(key) = ∃All(key) ∧ ∄L(key)
 // and returns the support change {−1, 0, +1} (UpdateIndTree, Figure 18,
 // specialized to H = All ⋈ ∄L).
-func (e *Engine) refreshH(ind *viewtree.Indicator, key tuple.Tuple) int64 {
-	h := e.hrels[ind.ID]
-	want := e.relOf(ind.All).Mult(key) != 0 && e.relOf(ind.L).Mult(key) == 0
-	have := h.Mult(key) != 0
+func (e *Engine) refreshH(s *indShared, key tuple.Tuple) int64 {
+	want := s.all.Mult(key) != 0 && s.l.Mult(key) == 0
+	have := s.h.Mult(key) != 0
 	switch {
 	case want && !have:
-		h.MustAdd(key, 1)
+		s.h.MustAdd(key, 1)
 		return 1
 	case !want && have:
-		h.MustAdd(key, -1)
+		s.h.MustAdd(key, -1)
 		return -1
 	}
 	return 0
@@ -199,87 +254,68 @@ func (e *Engine) refreshH(ind *viewtree.Indicator, key tuple.Tuple) int64 {
 
 // propagateIndicator pushes a δ(∃H) = {key → dh} change through every main
 // tree containing a reference to the indicator (Figure 19 lines 9 and 14).
-func (e *Engine) propagateIndicator(ind *viewtree.Indicator, key tuple.Tuple, dh int64) {
-	d := singleDelta(ind.Keys, key, dh)
-	for _, tr := range e.forest.Trees() {
-		e.propagateAt(tr, func(n *viewtree.Node) bool {
-			return n.Kind == viewtree.IndicatorRef && n.Ind == ind
-		}, d)
+func (e *Engine) propagateIndicator(s *indShared, key tuple.Tuple, dh int64) {
+	d := &s.d1
+	d.reset()
+	d.appendRow(key, dh)
+	for _, lp := range s.refLeaves {
+		e.propagatePath(lp, d)
 	}
 }
 
-// propagate pushes a delta at the leaves of kind/rel/keys through one tree.
-func (e *Engine) propagate(tr *viewtree.Node, kind viewtree.Kind, rel string, keys tuple.Schema, d *delta) {
-	e.propagateAt(tr, func(n *viewtree.Node) bool {
-		if n.Kind != kind || n.Rel != rel {
-			return false
+// propagatePath propagates a delta from one leaf to the root of its tree,
+// maintaining each view on the path (Apply, Figure 17). The leaf's own
+// relation must already be updated. The input delta is read-only; deltas
+// computed along the path come from (and return to) the engine's pool.
+func (e *Engine) propagatePath(lp *leafPath, d *delta) {
+	cur := d
+	for i := range lp.edges {
+		edge := &lp.edges[i]
+		out := e.getDelta()
+		edge.plan.run(e, cur, out)
+		if cur != d {
+			e.putDelta(cur)
 		}
-		if kind == viewtree.LightAtom && !n.Keys.Equal(keys) {
-			return false
+		cur = out
+		// Apply δV to the materialized parent view.
+		applied := false
+		for j := range cur.rows {
+			if cur.rows[j].m == 0 {
+				continue
+			}
+			edge.view.MustAdd(cur.rows[j].t, cur.rows[j].m)
+			e.stats.DeltasApplied++
+			applied = true
 		}
-		return true
-	}, d)
-}
-
-// propagateAt propagates a delta from every matching leaf to the root of
-// tr, maintaining each view on the path (Apply, Figure 17). The leaf's own
-// relation must already be updated.
-func (e *Engine) propagateAt(tr *viewtree.Node, match func(*viewtree.Node) bool, d *delta) {
-	var leaves []*viewtree.Node
-	var find func(n *viewtree.Node)
-	find = func(n *viewtree.Node) {
-		if match(n) {
-			leaves = append(leaves, n)
-		}
-		for _, c := range n.Children {
-			find(c)
-		}
-	}
-	find(tr)
-	for _, leaf := range leaves {
-		cur := d
-		for n := leaf.Parent; n != nil && len(cur.rows) > 0; n = n.Parent {
-			cur = e.applyToView(n, leaf, cur)
-			leaf = n
+		if !applied {
+			break
 		}
 	}
-}
-
-// applyToView computes δV = V1, ..., δVj, ..., Vk for the view at n given
-// the delta at child j, applies it to V's materialization, and returns it
-// (Figure 17, lines 5–10). The sibling join runs over a cached plan: for
-// each delta row, every sibling is probed through an index on the
-// variables bound so far, so a heavy-tree view whose aux-view siblings
-// share the delta's schema costs one lookup per sibling (the constant-time
-// propagation of Lemma 47).
-func (e *Engine) applyToView(n *viewtree.Node, child *viewtree.Node, d *delta) *delta {
-	p := e.updatePlan(n, child)
-	out := p.run(e, d)
-
-	// Apply δV to the materialized view.
-	v := e.views[n.Name]
-	for _, w := range out.rows {
-		v.MustAdd(w.t, w.m)
-		e.stats.DeltasApplied++
+	if cur != d {
+		e.putDelta(cur)
 	}
-	return out
 }
 
 // updPlan is a cached delta-propagation step for one (view, child) pair.
+// Relation and index pointers are resolved at build time; they stay valid
+// across major rebalancing because materializeAll refills relations in
+// place.
 type updPlan struct {
 	deltaSlots []int // scratch slot per delta-schema position
 	steps      []updStep
 	outSlots   []int // scratch slot per parent-schema position
+	outScratch tuple.Tuple
 }
 
 // updStep probes one sibling of the delta's child.
 type updStep struct {
-	node      *viewtree.Node
-	ixSchema  tuple.Schema // sibling-schema vars bound before this step
-	keySlots  []int        // scratch slots providing the index key
-	freshPos  []int        // sibling-schema positions newly bound here
-	freshSlot []int
-	full      bool // all sibling vars already bound: plain multiplicity probe
+	rel        *relation.Relation
+	index      *relation.Index // index on the bound variables; nil for full-schema or full-scan probes
+	keySlots   []int           // scratch slots providing the probe key
+	keyScratch tuple.Tuple
+	freshPos   []int // sibling-schema positions newly bound here
+	freshSlot  []int
+	full       bool // all sibling vars already bound: plain multiplicity probe
 }
 
 func (e *Engine) updatePlan(n *viewtree.Node, child *viewtree.Node) *updPlan {
@@ -322,10 +358,11 @@ func (e *Engine) updatePlan(n *viewtree.Node, child *viewtree.Node) *updPlan {
 		}
 		c := rest[best]
 		rest = append(rest[:best], rest[best+1:]...)
-		st := updStep{node: c}
+		st := updStep{rel: e.relOf(c)}
+		var ixSchema tuple.Schema
 		for pos, v := range c.Schema {
 			if bound[v] {
-				st.ixSchema = append(st.ixSchema, v)
+				ixSchema = append(ixSchema, v)
 				st.keySlots = append(st.keySlots, e.slot[v])
 			} else {
 				st.freshPos = append(st.freshPos, pos)
@@ -334,73 +371,71 @@ func (e *Engine) updatePlan(n *viewtree.Node, child *viewtree.Node) *updPlan {
 			}
 		}
 		st.full = len(st.freshPos) == 0
+		if !st.full && len(ixSchema) > 0 {
+			st.index = st.rel.EnsureIndex(ixSchema)
+		}
+		st.keyScratch = make(tuple.Tuple, len(st.keySlots))
 		p.steps = append(p.steps, st)
 	}
 	for _, v := range n.Schema {
 		p.outSlots = append(p.outSlots, e.slot[v])
 	}
+	p.outScratch = make(tuple.Tuple, len(p.outSlots))
 	byChild[child] = p
 	return p
 }
 
-// run evaluates δV = δchild ⋈ siblings over the plan, aggregating the
-// (possibly signed) output rows by tuple.
-func (p *updPlan) run(e *Engine, d *delta) *delta {
-	sums := map[tuple.Key]int64{}
-	order := make([]tuple.Tuple, 0, len(d.rows))
+// run evaluates δV = δchild ⋈ siblings over the plan, accumulating the
+// (possibly signed) output rows into out, aggregated by tuple.
+func (p *updPlan) run(e *Engine, d *delta, out *delta) {
 	scratch := e.ubind
-	outT := make(tuple.Tuple, len(p.outSlots))
-
-	var rec func(i int, mult int64)
-	rec = func(i int, mult int64) {
-		if i == len(p.steps) {
-			for k, s := range p.outSlots {
-				outT[k] = scratch[s]
-			}
-			key := tuple.EncodeKey(outT)
-			if _, seen := sums[key]; !seen {
-				order = append(order, outT.Clone())
-			}
-			sums[key] += mult
-			return
+	for i := range d.rows {
+		w := &d.rows[i]
+		if w.m == 0 {
+			continue
 		}
-		st := &p.steps[i]
-		rel := e.relOf(st.node)
-		key := make(tuple.Tuple, len(st.keySlots))
-		for k, s := range st.keySlots {
-			key[k] = scratch[s]
-		}
-		if st.full {
-			if m := rel.Mult(key); m != 0 {
-				rec(i+1, mult*m)
-			}
-			return
-		}
-		emit := func(t tuple.Tuple, m int64) {
-			for k, pos := range st.freshPos {
-				scratch[st.freshSlot[k]] = t[pos]
-			}
-			rec(i+1, mult*m)
-		}
-		if len(st.ixSchema) == 0 {
-			rel.ForEach(emit)
-		} else {
-			rel.EnsureIndex(st.ixSchema).ForEachMatch(key, emit)
-		}
-	}
-	for _, w := range d.rows {
 		for k, s := range p.deltaSlots {
 			scratch[s] = w.t[k]
 		}
-		rec(0, w.m)
+		p.rec(scratch, 0, w.m, out)
 	}
-	out := &delta{rows: make([]weighted, 0, len(order))}
-	for _, t := range order {
-		if m := sums[tuple.EncodeKey(t)]; m != 0 {
-			out.rows = append(out.rows, weighted{t: t, m: m})
+}
+
+func (p *updPlan) rec(scratch []tuple.Value, i int, mult int64, out *delta) {
+	if i == len(p.steps) {
+		for k, s := range p.outSlots {
+			p.outScratch[k] = scratch[s]
 		}
+		out.add(p.outScratch, mult)
+		return
 	}
-	return out
+	st := &p.steps[i]
+	key := st.keyScratch
+	for k, s := range st.keySlots {
+		key[k] = scratch[s]
+	}
+	if st.full {
+		if m := st.rel.Mult(key); m != 0 {
+			p.rec(scratch, i+1, mult*m, out)
+		}
+		return
+	}
+	if st.index == nil {
+		for en := st.rel.First(); en != nil; en = st.rel.Next(en) {
+			for k, pos := range st.freshPos {
+				scratch[st.freshSlot[k]] = en.Tuple[pos]
+			}
+			p.rec(scratch, i+1, mult*en.Mult, out)
+		}
+		return
+	}
+	for n := st.index.FirstMatch(key); n != nil; n = n.Next() {
+		en := n.Entry()
+		for k, pos := range st.freshPos {
+			scratch[st.freshSlot[k]] = en.Tuple[pos]
+		}
+		p.rec(scratch, i+1, mult*en.Mult, out)
+	}
 }
 
 // majorRebalance is MajorRebalancing (Figure 20): strictly repartition all
@@ -414,41 +449,40 @@ func (e *Engine) majorRebalance() {
 
 // minorRebalance is MinorRebalancing (Figure 21): move the tuples of one
 // partition key into (insert=true) or out of (insert=false) the light part
-// of p's relation, propagating each moved tuple like a light-part update
-// and refreshing the affected indicators.
-func (e *Engine) minorRebalance(p *relation.Partition, key tuple.Tuple, insert bool) {
+// of pr's relation, propagating the moved tuples as one delta through the
+// light leaves and refreshing the affected indicators.
+func (e *Engine) minorRebalance(pr *partRoute, key tuple.Tuple, insert bool) {
+	p := pr.p
 	base := p.Relation()
 	ix := base.Index(p.Key())
-	var moved []weighted
+	d := e.getDelta()
 	ix.ForEachMatch(key, func(t tuple.Tuple, m int64) {
-		cnt := m
-		if !insert {
-			cnt = -m
+		if insert {
+			d.appendRow(t, m)
+		} else {
+			d.appendRow(t, -m)
 		}
-		moved = append(moved, weighted{t: t.Clone(), m: cnt})
 	})
 	light := p.Light()
-	for _, w := range moved {
-		light.MustAdd(w.t, w.m)
+	for i := range d.rows {
+		light.MustAdd(d.rows[i].t, d.rows[i].m)
 	}
-	// Propagate each moved tuple through the main trees' light leaves and
-	// the indicator light trees (Figure 21, lines 4–7).
-	for _, w := range moved {
-		d := singleDelta(base.Schema(), w.t, w.m)
-		for _, tr := range e.forest.Trees() {
-			e.propagate(tr, viewtree.LightAtom, base.Name(), p.Key(), d)
+	// Propagate the moved tuples through the main trees' light leaves and
+	// the indicator light trees (Figure 21, lines 4–7). All moved tuples
+	// share the partition key, which equals the indicator key, so one ∃H
+	// refresh per indicator suffices.
+	for _, lp := range pr.lightLeaves {
+		e.propagatePath(lp, d)
+	}
+	for _, il := range pr.inds {
+		for _, lp := range il.lLeaves {
+			e.propagatePath(lp, d)
 		}
-		for _, ind := range e.forest.Indicators {
-			if !containsRel(ind.Rels, base.Name()) || !ind.Keys.Equal(p.Key()) {
-				continue
-			}
-			e.propagate(ind.L, viewtree.LightAtom, base.Name(), p.Key(), d)
-			ikey := tuple.Restrict(w.t, base.Schema(), ind.Keys)
-			if dh := e.refreshH(ind, ikey); dh != 0 {
-				e.propagateIndicator(ind, ikey, dh)
-			}
+		if dh := e.refreshH(il.s, key); dh != 0 {
+			e.propagateIndicator(il.s, key, dh)
 		}
 	}
+	e.putDelta(d)
 	e.stats.MinorRebalances++
 }
 

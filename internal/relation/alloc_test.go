@@ -1,0 +1,149 @@
+package relation
+
+import (
+	"testing"
+
+	"ivmeps/internal/tuple"
+)
+
+// Allocation-regression tests for the update hot path: steady-state probes
+// and multiplicity changes must not allocate, and insert/delete churn of
+// the same tuples must reuse pooled entries, index nodes, and buckets.
+
+func allocRelation(t *testing.T) *Relation {
+	t.Helper()
+	r := New("R", tuple.NewSchema("A", "B"))
+	for i := int64(0); i < 50; i++ {
+		r.MustAdd(tuple.Tuple{i % 10, i}, 2)
+	}
+	return r
+}
+
+func TestMultZeroAllocs(t *testing.T) {
+	r := allocRelation(t)
+	probe := tuple.Tuple{3, 13}
+	miss := tuple.Tuple{99, 99}
+	if n := testing.AllocsPerRun(100, func() {
+		r.Mult(probe)
+		r.Mult(miss)
+	}); n != 0 {
+		t.Errorf("Mult allocates %v per run, want 0", n)
+	}
+}
+
+func TestMultKeyZeroAllocs(t *testing.T) {
+	r := allocRelation(t)
+	k := tuple.EncodeKey(tuple.Tuple{3, 13})
+	if n := testing.AllocsPerRun(100, func() {
+		r.MultKey(k)
+	}); n != 0 {
+		t.Errorf("MultKey allocates %v per run, want 0", n)
+	}
+}
+
+func TestAddExistingZeroAllocs(t *testing.T) {
+	r := allocRelation(t)
+	r.EnsureIndex(tuple.NewSchema("A"))
+	tu := tuple.Tuple{3, 13} // stored with multiplicity 2: ±1 never removes
+	if n := testing.AllocsPerRun(100, func() {
+		r.MustAdd(tu, 1)
+		r.MustAdd(tu, -1)
+	}); n != 0 {
+		t.Errorf("Add of an existing tuple allocates %v per run, want 0", n)
+	}
+}
+
+func TestAddKeyZeroAllocs(t *testing.T) {
+	r := allocRelation(t)
+	tu := tuple.Tuple{3, 13}
+	k := tuple.EncodeKey(tu)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := r.AddKey(tu, k, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AddKey(tu, k, -1); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("AddKey allocates %v per run, want 0", n)
+	}
+}
+
+func TestIndexProbesZeroAllocs(t *testing.T) {
+	r := allocRelation(t)
+	ix := r.EnsureIndex(tuple.NewSchema("A"))
+	key := tuple.Tuple{3}
+	miss := tuple.Tuple{77}
+	k := tuple.EncodeKey(key)
+	sink := int64(0)
+	fn := func(t tuple.Tuple, m int64) { sink += m }
+	if n := testing.AllocsPerRun(100, func() {
+		ix.Count(key)
+		ix.Count(miss)
+		ix.CountKey(k)
+		ix.Has(key)
+		ix.ForEachMatch(key, fn)
+		for c := ix.FirstMatch(key); c != nil; c = c.Next() {
+			sink += c.Entry().Mult
+		}
+		ix.FirstMatchKey(k)
+	}); n != 0 {
+		t.Errorf("index probes allocate %v per run, want 0", n)
+	}
+}
+
+// TestChurnReusesPool pins the allocation cost of insert/delete churn: the
+// entry, index nodes, and buckets of a removed tuple are pooled, so
+// re-inserting it costs only the map key strings (one for the relation,
+// one per index whose bucket was emptied).
+func TestChurnReusesPool(t *testing.T) {
+	r := allocRelation(t)
+	r.EnsureIndex(tuple.NewSchema("A"))
+	r.EnsureIndex(tuple.NewSchema("B"))
+	tu := tuple.Tuple{500, 501} // unique A and B values: churn empties both buckets
+	// Warm the pools.
+	r.MustAdd(tu, 1)
+	r.MustAdd(tu, -1)
+	n := testing.AllocsPerRun(100, func() {
+		r.MustAdd(tu, 1)
+		r.MustAdd(tu, -1)
+	})
+	// One map-key string for the entry map and one per emptied index
+	// bucket; everything else (entry, tuple, nodes, buckets) is pooled.
+	if n > 3 {
+		t.Errorf("insert/delete churn allocates %v per run, want ≤ 3 (map key strings only)", n)
+	}
+}
+
+// TestPoolCorrectness exercises recycled entries and nodes for correctness:
+// after churn, contents and index enumeration stay exact.
+func TestPoolCorrectness(t *testing.T) {
+	r := New("R", tuple.NewSchema("A", "B"))
+	ix := r.EnsureIndex(tuple.NewSchema("A"))
+	for round := 0; round < 5; round++ {
+		for i := int64(0); i < 20; i++ {
+			r.MustAdd(tuple.Tuple{i % 4, i}, 1+i%3)
+		}
+		for i := int64(0); i < 20; i++ {
+			if round%2 == 0 {
+				r.MustAdd(tuple.Tuple{i % 4, i}, -(1 + i%3))
+			}
+		}
+	}
+	// Rounds 1 and 3 each inserted 20 tuples that were never deleted; each
+	// tuple {i%4, i} was inserted twice with multiplicity 1+i%3.
+	if r.Size() != 20 {
+		t.Fatalf("size after churn: %d, want 20", r.Size())
+	}
+	for i := int64(0); i < 20; i++ {
+		want := 2 * (1 + i%3)
+		if got := r.Mult(tuple.Tuple{i % 4, i}); got != want {
+			t.Fatalf("Mult({%d,%d}) = %d, want %d", i%4, i, got, want)
+		}
+	}
+	for a := int64(0); a < 4; a++ {
+		if got := ix.Count(tuple.Tuple{a}); got != 5 {
+			t.Fatalf("index count for A=%d: %d, want 5", a, got)
+		}
+	}
+}

@@ -11,20 +11,31 @@ import (
 // of the paper's computational model: constant-delay enumeration of
 // σ_{S=t}R, constant-time membership in π_S R, constant-time |σ_{S=t}R|,
 // and constant-time maintenance.
+//
+// Probes taking a key Tuple encode it into a reusable internal buffer and
+// are allocation-free; removed nodes and emptied buckets are pooled, so
+// index maintenance allocates only when a previously unseen key value
+// appears.
 type Index struct {
 	rel       *Relation
 	keySchema tuple.Schema
 	proj      tuple.Projection
 	buckets   map[tuple.Key]*bucket
 	slot      int // position of this index in rel.indexes and Entry.nodes
+
+	keyT     tuple.Tuple // reusable projected-key buffer
+	keyBuf   []byte      // reusable key-encoding buffer
+	freeNode *IndexNode  // freelist of removed nodes, linked via next
+	freeBuck *bucket     // freelist of emptied buckets, linked via freeNext
 }
 
 // bucket holds the doubly-linked list of index nodes for one key value.
 type bucket struct {
-	key   tuple.Tuple
-	head  *IndexNode
-	tail  *IndexNode
-	count int
+	key      tuple.Tuple
+	head     *IndexNode
+	tail     *IndexNode
+	count    int
+	freeNext *bucket
 }
 
 // IndexNode links one entry into one bucket.
@@ -75,14 +86,14 @@ func (r *Relation) Index(keySchema tuple.Schema) *Index {
 func (ix *Index) KeySchema() tuple.Schema { return ix.keySchema }
 
 func (ix *Index) insert(e *Entry) {
-	keyT := ix.proj.Apply(e.Tuple)
-	k := tuple.EncodeKey(keyT)
-	b, ok := ix.buckets[k]
+	ix.keyT = ix.proj.AppendTo(ix.keyT[:0], e.Tuple)
+	ix.keyBuf = tuple.AppendKey(ix.keyBuf[:0], ix.keyT)
+	b, ok := ix.buckets[tuple.Key(ix.keyBuf)]
 	if !ok {
-		b = &bucket{key: keyT}
-		ix.buckets[k] = b
+		b = ix.newBucket(ix.keyT)
+		ix.buckets[tuple.Key(ix.keyBuf)] = b
 	}
-	n := &IndexNode{entry: e, b: b}
+	n := ix.newNode(e, b)
 	n.prev = b.tail
 	if b.tail != nil {
 		b.tail.next = n
@@ -95,6 +106,28 @@ func (ix *Index) insert(e *Entry) {
 		e.nodes = append(e.nodes, nil)
 	}
 	e.nodes[ix.slot] = n
+}
+
+// newBucket takes a bucket from the freelist (reusing its key buffer) or
+// allocates a fresh one; key is copied.
+func (ix *Index) newBucket(key tuple.Tuple) *bucket {
+	if b := ix.freeBuck; b != nil {
+		ix.freeBuck = b.freeNext
+		b.freeNext = nil
+		b.key = append(b.key[:0], key...)
+		return b
+	}
+	return &bucket{key: key.Clone()}
+}
+
+// newNode takes a node from the freelist or allocates a fresh one.
+func (ix *Index) newNode(e *Entry, b *bucket) *IndexNode {
+	if n := ix.freeNode; n != nil {
+		ix.freeNode = n.next
+		n.entry, n.b, n.prev, n.next = e, b, nil, nil
+		return n
+	}
+	return &IndexNode{entry: e, b: b}
 }
 
 func (ix *Index) remove(e *Entry) {
@@ -115,14 +148,21 @@ func (ix *Index) remove(e *Entry) {
 	}
 	b.count--
 	if b.count == 0 {
-		delete(ix.buckets, tuple.EncodeKey(b.key))
+		ix.keyBuf = tuple.AppendKey(ix.keyBuf[:0], b.key)
+		delete(ix.buckets, tuple.Key(ix.keyBuf))
+		b.freeNext = ix.freeBuck
+		ix.freeBuck = b
 	}
 	e.nodes[ix.slot] = nil
+	n.entry, n.b, n.prev = nil, nil, nil
+	n.next = ix.freeNode
+	ix.freeNode = n
 }
 
-// Count returns |σ_{S=key}R| in O(1).
+// Count returns |σ_{S=key}R| in O(1), without allocating.
 func (ix *Index) Count(key tuple.Tuple) int {
-	if b, ok := ix.buckets[tuple.EncodeKey(key)]; ok {
+	ix.keyBuf = tuple.AppendKey(ix.keyBuf[:0], key)
+	if b, ok := ix.buckets[tuple.Key(ix.keyBuf)]; ok {
 		return b.count
 	}
 	return 0
@@ -145,7 +185,8 @@ func (ix *Index) DistinctKeys() int { return len(ix.buckets) }
 // ForEachMatch calls fn on every entry of σ_{S=key}R with constant delay.
 // fn must not mutate the relation.
 func (ix *Index) ForEachMatch(key tuple.Tuple, fn func(t tuple.Tuple, m int64)) {
-	b, ok := ix.buckets[tuple.EncodeKey(key)]
+	ix.keyBuf = tuple.AppendKey(ix.keyBuf[:0], key)
+	b, ok := ix.buckets[tuple.Key(ix.keyBuf)]
 	if !ok {
 		return
 	}
@@ -166,8 +207,10 @@ func (ix *Index) Matches(key tuple.Tuple) []Entry {
 // FirstMatch returns the first entry of σ_{S=key}R in insertion order, or
 // nil if the bucket is empty; NextMatch advances within the bucket. Together
 // they give the constant-delay cursor used by the enumeration iterators.
+// It does not allocate.
 func (ix *Index) FirstMatch(key tuple.Tuple) *IndexNode {
-	if b, ok := ix.buckets[tuple.EncodeKey(key)]; ok {
+	ix.keyBuf = tuple.AppendKey(ix.keyBuf[:0], key)
+	if b, ok := ix.buckets[tuple.Key(ix.keyBuf)]; ok {
 		return b.head
 	}
 	return nil

@@ -51,6 +51,10 @@ func (p *Partition) Key() tuple.Schema { return p.key }
 // KeyOf projects a full tuple of R onto the partition key.
 func (p *Partition) KeyOf(t tuple.Tuple) tuple.Tuple { return p.proj.Apply(t) }
 
+// AppendKeyOf appends the partition key of t to dst and returns dst; with a
+// reused scratch buffer it does not allocate.
+func (p *Partition) AppendKeyOf(dst, t tuple.Tuple) tuple.Tuple { return p.proj.AppendTo(dst, t) }
+
 // Degree returns |σ_{S=key}R|, the degree of key in the full relation.
 func (p *Partition) Degree(key tuple.Tuple) int { return p.relIx.Count(key) }
 

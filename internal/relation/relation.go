@@ -41,6 +41,11 @@ type Entry struct {
 // Relation is a multiset relation over a fixed schema, storing tuples with
 // strictly positive multiplicities. The zero multiplicity is represented by
 // absence.
+//
+// The lookup and update methods taking a Tuple encode the key into a
+// reusable internal buffer, so steady-state probes and multiplicity changes
+// of existing entries are allocation-free. Relations are not safe for
+// concurrent use.
 type Relation struct {
 	name    string
 	schema  tuple.Schema
@@ -48,7 +53,9 @@ type Relation struct {
 	head    *Entry // insertion-ordered doubly-linked list
 	tail    *Entry
 	indexes []*Index
-	total   int64 // sum of multiplicities (for diagnostics)
+	total   int64  // sum of multiplicities (for diagnostics)
+	keyBuf  []byte // reusable key-encoding buffer for probes and updates
+	free    *Entry // freelist of removed entries, linked via next
 }
 
 // New creates an empty relation with the given name and schema.
@@ -75,9 +82,11 @@ func (r *Relation) Size() int { return len(r.entries) }
 // TotalMultiplicity returns the sum of all multiplicities.
 func (r *Relation) TotalMultiplicity() int64 { return r.total }
 
-// Mult returns R(t): the multiplicity of t, or 0 if absent.
+// Mult returns R(t): the multiplicity of t, or 0 if absent. It does not
+// allocate.
 func (r *Relation) Mult(t tuple.Tuple) int64 {
-	if e, ok := r.entries[tuple.EncodeKey(t)]; ok {
+	r.keyBuf = tuple.AppendKey(r.keyBuf[:0], t)
+	if e, ok := r.entries[tuple.Key(r.keyBuf)]; ok {
 		return e.Mult
 	}
 	return 0
@@ -112,6 +121,8 @@ func (e *ErrNegative) Error() string {
 // multiplicity of t, inserting the entry if it was absent and removing it
 // if the multiplicity reaches zero. It returns an error (and leaves the
 // relation unchanged) if the result would be negative. m = 0 is a no-op.
+// Multiplicity changes of existing entries do not allocate; removed entries
+// are pooled and reused by later inserts.
 func (r *Relation) Add(t tuple.Tuple, m int64) error {
 	if m == 0 {
 		return nil
@@ -120,14 +131,36 @@ func (r *Relation) Add(t tuple.Tuple, m int64) error {
 		return fmt.Errorf("relation %s: tuple %v has arity %d, schema %v has arity %d",
 			r.name, t, len(t), r.schema, len(r.schema))
 	}
-	k := tuple.EncodeKey(t)
-	e, ok := r.entries[k]
+	r.keyBuf = tuple.AppendKey(r.keyBuf[:0], t)
+	return r.addKeyed(t, m)
+}
+
+// AddKey is Add keyed by the pre-encoded key of t (k must equal
+// EncodeKey(t); a mismatched key corrupts the relation). It skips the key
+// encoding, for embedders that batch updates keyed by Key — the engine's
+// own hot paths hold unencoded tuples and use Add's internal buffer.
+func (r *Relation) AddKey(t tuple.Tuple, k tuple.Key, m int64) error {
+	if m == 0 {
+		return nil
+	}
+	if len(t) != len(r.schema) {
+		return fmt.Errorf("relation %s: tuple %v has arity %d, schema %v has arity %d",
+			r.name, t, len(t), r.schema, len(r.schema))
+	}
+	r.keyBuf = append(r.keyBuf[:0], k...)
+	return r.addKeyed(t, m)
+}
+
+// addKeyed is the shared body of Add and AddKey; the encoded key of t is
+// in r.keyBuf.
+func (r *Relation) addKeyed(t tuple.Tuple, m int64) error {
+	e, ok := r.entries[tuple.Key(r.keyBuf)]
 	if !ok {
 		if m < 0 {
 			return &ErrNegative{Relation: r.name, Tuple: t.Clone(), Have: 0, Delta: m}
 		}
-		e = &Entry{Tuple: t.Clone(), Mult: m}
-		r.entries[k] = e
+		e = r.newEntry(t, m)
+		r.entries[tuple.Key(r.keyBuf)] = e
 		r.linkEntry(e)
 		for _, ix := range r.indexes {
 			ix.insert(e)
@@ -141,13 +174,28 @@ func (r *Relation) Add(t tuple.Tuple, m int64) error {
 	e.Mult += m
 	r.total += m
 	if e.Mult == 0 {
-		delete(r.entries, k)
+		delete(r.entries, tuple.Key(r.keyBuf))
 		r.unlinkEntry(e)
 		for _, ix := range r.indexes {
 			ix.remove(e)
 		}
+		e.next = r.free
+		r.free = e
 	}
 	return nil
+}
+
+// newEntry takes an entry from the freelist (reusing its tuple buffer and
+// index back-pointer slots) or allocates a fresh one.
+func (r *Relation) newEntry(t tuple.Tuple, m int64) *Entry {
+	if e := r.free; e != nil {
+		r.free = e.next
+		e.next = nil
+		e.Tuple = append(e.Tuple[:0], t...)
+		e.Mult = m
+		return e
+	}
+	return &Entry{Tuple: t.Clone(), Mult: m}
 }
 
 // MustAdd is Add that panics on error; for code paths where the engine
@@ -165,14 +213,37 @@ func (r *Relation) Set(t tuple.Tuple, m int64) {
 }
 
 // Clear removes all tuples (and empties all indexes) while keeping the
-// index definitions.
+// index definitions. Entries, index nodes, and buckets are recycled onto
+// the freelists, so a refill after Clear (e.g. re-materializing a view
+// during major rebalancing) reuses them instead of allocating.
 func (r *Relation) Clear() {
+	for _, ix := range r.indexes {
+		for _, b := range ix.buckets {
+			b.head, b.tail, b.count = nil, nil, 0
+			b.freeNext = ix.freeBuck
+			ix.freeBuck = b
+		}
+		ix.buckets = make(map[tuple.Key]*bucket)
+	}
+	var next *Entry
+	for e := r.head; e != nil; e = next {
+		next = e.next
+		for i, n := range e.nodes {
+			if n == nil {
+				continue
+			}
+			n.entry, n.b, n.prev = nil, nil, nil
+			n.next = r.indexes[i].freeNode
+			r.indexes[i].freeNode = n
+			e.nodes[i] = nil
+		}
+		e.prev = nil
+		e.next = r.free
+		r.free = e
+	}
 	r.entries = make(map[tuple.Key]*Entry)
 	r.head, r.tail = nil, nil
 	r.total = 0
-	for _, ix := range r.indexes {
-		ix.buckets = make(map[tuple.Key]*bucket)
-	}
 }
 
 func (r *Relation) linkEntry(e *Entry) {

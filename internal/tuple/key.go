@@ -13,17 +13,27 @@ func EncodeKey(t Tuple) Key {
 
 // AppendKey appends the encoding of t to buf and returns the extended
 // buffer; callers can reuse buf across calls to avoid allocation, then
-// convert with Key(buf) (which copies).
+// convert with Key(buf) (which copies). A conversion used directly in a map
+// index expression — m[Key(buf)], or delete(m, Key(buf)) — does not copy:
+// the compiler's bytes-to-string map-access optimization applies, so probing
+// a map[Key]V with a reused buffer is allocation-free. The hot paths of
+// internal/relation rely on this.
 func AppendKey(buf []byte, t Tuple) []byte { return appendKey(buf, t) }
 
 func appendKey(buf []byte, t Tuple) []byte {
 	for _, v := range t {
-		u := uint64(v)
-		buf = append(buf,
-			byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		buf = appendKeyValue(buf, v)
 	}
 	return buf
+}
+
+// appendKeyValue appends the 8-byte little-endian encoding of one value;
+// it is the single definition of the Key byte layout.
+func appendKeyValue(buf []byte, v Value) []byte {
+	u := uint64(v)
+	return append(buf,
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
 }
 
 // DecodeKey decodes a Key back into a Tuple. The Key length must be a

@@ -95,6 +95,117 @@ func TestPublicAPIErrors(t *testing.T) {
 	}
 }
 
+// TestApplySteadyStateZeroAllocs pins the headline property of the update
+// fast path: on a q-hierarchical query, a steady-state Apply (the updated
+// tuple and all affected view rows already exist, no rebalancing pressure)
+// performs no heap allocation at all.
+func TestApplySteadyStateZeroAllocs(t *testing.T) {
+	q := MustParseQuery("Q(A, B) = R(A, B), S(B)")
+	e, err := New(q, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 40; i++ {
+		if err := e.LoadWeighted("R", []int64{i, i % 8}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for b := int64(0); b < 8; b++ {
+		if err := e.LoadWeighted("S", []int64{b}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	row := []int64{3, 3}
+	// Warm the propagation pools once.
+	if err := e.Apply("R", row, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Apply("R", row, -1); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := e.Apply("R", row, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Apply("R", row, -1); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("steady-state Apply allocates %v per run, want 0", n)
+	}
+}
+
+func TestPublicAPIApplyBatch(t *testing.T) {
+	q := MustParseQuery("Q(A, C) = R(A, B), S(B, C)")
+	mk := func() *Engine {
+		e, err := New(q, Options{Epsilon: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 20; i++ {
+			if err := e.Load("R", []int64{i, i % 4}); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Load("S", []int64{i % 4, i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Build(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	seq, bat := mk(), mk()
+	var rows [][]int64
+	var mults []int64
+	for i := int64(0); i < 200; i++ {
+		rows = append(rows, []int64{100 + i%30, i % 6})
+		mults = append(mults, 1)
+	}
+	for i := int64(0); i < 40; i++ { // mixed deletes of rows this batch inserted
+		rows = append(rows, []int64{100 + i%30, i % 6})
+		mults = append(mults, -1)
+	}
+	for i := range rows {
+		if err := seq.Apply("R", rows[i], mults[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bat.ApplyBatch("R", rows, mults); err != nil {
+		t.Fatal(err)
+	}
+	sr, sm := seq.Rows()
+	br, bm := bat.Rows()
+	if len(sr) != len(br) {
+		t.Fatalf("result sizes differ: sequential %d, batch %d", len(sr), len(br))
+	}
+	want := map[string]int64{}
+	for i, r := range sr {
+		want[string(rune(r[0]))+","+string(rune(r[1]))] = sm[i]
+	}
+	for i, r := range br {
+		if want[string(rune(r[0]))+","+string(rune(r[1]))] != bm[i] {
+			t.Fatalf("row %v: batch mult %d != sequential", r, bm[i])
+		}
+	}
+	if seq.N() != bat.N() {
+		t.Fatalf("N diverged: %d vs %d", seq.N(), bat.N())
+	}
+	if err := bat.ApplyBatch("R", nil, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := bat.ApplyBatch("Z", [][]int64{{1, 2}}, nil); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	e2, _ := New(q, Options{Epsilon: 0.5})
+	if err := e2.ApplyBatch("R", [][]int64{{1, 2}}, nil); err == nil {
+		t.Fatal("ApplyBatch before Build accepted")
+	}
+}
+
 func TestPublicAPIQueryAccessors(t *testing.T) {
 	q := MustParseQuery("Q(A) = R(A, B), S(B)")
 	rels := q.Relations()
