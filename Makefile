@@ -1,10 +1,15 @@
 # Developer entry points. `make check` is the tier-1 gate; `make bench`
-# refreshes the update/batch perf trajectory in BENCH_update.json (compare
-# against the committed baseline before merging hot-path changes).
+# refreshes the update/batch perf trajectory in BENCH_update.json, and
+# `make bench-check` gates a working tree against the committed baseline
+# (ns/op within tolerance, allocs/op strictly no worse).
 
 GO ?= go
 
-.PHONY: check test vet bench bench-all
+# The update-path benchmark set: single-tuple updates, sequential batches,
+# and the parallel-batch worker sweep. Keep in sync with BENCH_update.json.
+BENCH_RE = Update|Batch|Parallel
+
+.PHONY: check test vet bench bench-check bench-all
 
 check: vet test
 
@@ -17,10 +22,24 @@ test:
 # Update-path microbenchmarks with allocation reporting, recorded as JSON.
 # The raw output is kept in BENCH_update.txt for eyeballing.
 bench:
-	$(GO) test -run '^$$' -bench 'Update|Batch' -benchmem | tee BENCH_update.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem | tee BENCH_update.txt
 	$(GO) run ./cmd/bench2json < BENCH_update.txt > BENCH_update.json
 	@rm -f BENCH_update.txt
 	@echo wrote BENCH_update.json
+
+# Re-run the benchmark set and diff against the committed baseline without
+# touching it. Fails on an allocs/op regression (beyond benchdiff's 1%
+# jitter allowance; zero-alloc baselines fail on any allocation) or a >30%
+# ns/op regression (override with BENCH_TOL=0.5 etc.). ns/op is machine-
+# dependent: compare on the machine that produced the baseline, or raise
+# the tolerance.
+# Default sized for a virtualized/shared box (observed single-run noise up
+# to ±40%); tighten on quiet bare metal.
+BENCH_TOL = 0.50
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem | $(GO) run ./cmd/bench2json > BENCH_check.json
+	@status=0; $(GO) run ./cmd/benchdiff -baseline BENCH_update.json -new BENCH_check.json -tol $(BENCH_TOL) || status=$$?; \
+		rm -f BENCH_check.json; exit $$status
 
 # Full experiment sweep (slow); see cmd/hiqbench for options.
 bench-all:

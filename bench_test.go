@@ -20,6 +20,7 @@ import (
 	"ivmeps/internal/experiments"
 	"ivmeps/internal/naive"
 	"ivmeps/internal/query"
+	"ivmeps/internal/relation"
 	"ivmeps/internal/tuple"
 	"ivmeps/internal/viewtree"
 	"ivmeps/internal/workload"
@@ -165,7 +166,9 @@ func BenchmarkBatchVsSequential(b *testing.B) {
 	}
 	newEngine := func(b *testing.B, rng *rand.Rand) *core.Engine {
 		db := workload.TwoPath(rng, benchN, 1.15)
-		e, err := core.New(q, core.Options{Mode: viewtree.Dynamic, Epsilon: 0.5})
+		// Workers pinned to 1: this benchmark isolates the batching win over
+		// row-by-row Update; worker scaling is BenchmarkParallelBatch's job.
+		e, err := core.New(q, core.Options{Mode: viewtree.Dynamic, Epsilon: 0.5, Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,13 +177,14 @@ func BenchmarkBatchVsSequential(b *testing.B) {
 		}
 		return e
 	}
+	// Both variants warm up outside the timer so allocs/op reflects the
+	// steady state instead of b.N-dependent amortization of first-touch
+	// growth (entry/index/map sizing on the first pass).
 	b.Run("sequential", func(b *testing.B) {
 		rng := rand.New(rand.NewSource(41))
 		e := newEngine(b, rng)
 		rows, mults, inv, invMults := makeBatch(rng)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
+		pass := func() {
 			for j := range rows {
 				if err := e.Update("R", rows[j], mults[j]); err != nil {
 					b.Fatal(err)
@@ -192,20 +196,30 @@ func BenchmarkBatchVsSequential(b *testing.B) {
 				}
 			}
 		}
+		pass()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pass()
+		}
 	})
 	b.Run("batch", func(b *testing.B) {
 		rng := rand.New(rand.NewSource(41))
 		e := newEngine(b, rng)
 		rows, mults, inv, invMults := makeBatch(rng)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
+		pass := func() {
 			if err := e.ApplyBatch("R", rows, mults); err != nil {
 				b.Fatal(err)
 			}
 			if err := e.ApplyBatch("R", inv, invMults); err != nil {
 				b.Fatal(err)
 			}
+		}
+		pass()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pass()
 		}
 	})
 }
@@ -498,6 +512,88 @@ func BenchmarkAblationPushdown(b *testing.B) {
 					b.Fatal(err)
 				}
 				if err := core.Preprocess(e, db.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelBatch measures the worker scaling of the parallel batch
+// path: one op = applying a 10k-row batch and then its inverse to a query
+// whose skew-aware forest spans five main view trees plus three indicator
+// tree pairs, so the per-tree propagations of each phase actually fan out.
+// Sub-benchmarks vary Options.Workers (auto = GOMAXPROCS-bounded); compare
+// ns/op of workers=auto against workers=1 for the speedup, and allocs/op to
+// confirm the pool adds no steady-state allocations. Single-core machines
+// will show auto ≈ 1; the scaling story needs real cores.
+func BenchmarkParallelBatch(b *testing.B) {
+	const batchRows = 10000
+	q := query.MustParse("Q(C, E) = R(A), S(A, B), T(A, B, C), U(A, D), V(A, D, E)")
+	multiTreeDB := func(rng *rand.Rand, n int) naive.Database {
+		db := naive.Database{}
+		for _, a := range q.Atoms {
+			r := relation.New(a.Rel, a.Vars)
+			for i := 0; i < n; i++ {
+				t := make(tuple.Tuple, len(a.Vars))
+				t[0] = rng.Int63n(int64(n) / 8) // shared A: skewed enough to split
+				for j := 1; j < len(t); j++ {
+					t[j] = rng.Int63n(int64(n))
+				}
+				r.Set(t, 1)
+			}
+			db[a.Rel] = r
+		}
+		return db
+	}
+	for _, workers := range []int{1, 0, 2, 4} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=auto"
+		}
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(61))
+			e, err := core.New(q, core.Options{Mode: viewtree.Dynamic, Epsilon: 0.5, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := core.Preprocess(e, multiTreeDB(rng, benchN)); err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			rows := make([]tuple.Tuple, batchRows)
+			mults := make([]int64, batchRows)
+			inv := make([]tuple.Tuple, batchRows)
+			invMults := make([]int64, batchRows)
+			pool := make([]tuple.Tuple, 4000)
+			for i := range pool {
+				pool[i] = tuple.Tuple{rng.Int63n(benchN / 8), rng.Int63n(400), 1_000_000 + int64(i)}
+			}
+			for i := range rows {
+				rows[i] = pool[rng.Intn(len(pool))]
+				mults[i] = 1
+				inv[len(inv)-1-i] = rows[i]
+				invMults[len(inv)-1-i] = -1
+			}
+			// Warm up outside the timer: spawn the pool, size the per-worker
+			// scratch, and grow the aggregation maps to steady state, so
+			// allocs/op reflects the steady state rather than b.N-dependent
+			// amortization of the first batch.
+			for i := 0; i < 2; i++ {
+				if err := e.ApplyBatch("T", rows, mults); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.ApplyBatch("T", inv, invMults); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.ApplyBatch("T", rows, mults); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.ApplyBatch("T", inv, invMults); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,104 @@
+// Command benchdiff gates performance regressions: it compares a fresh
+// bench2json report against the committed baseline and exits non-zero when
+// a benchmark regressed. Time (ns/op) is allowed a generous fractional
+// tolerance; allocations (allocs/op) get a far stricter one (default 1%,
+// to absorb warm-up amortization jitter in the six-figure macro counts) —
+// the repository's hot paths are engineered to be allocation-free, an
+// alloc creeping into one is the regression class this gate exists to
+// catch, and a zero-alloc baseline fails on any allocation at every
+// tolerance.
+//
+// Typical use (what `make bench-check` runs):
+//
+//	go test -run '^$' -bench 'Update|Batch|Parallel' -benchmem | bench2json > fresh.json
+//	benchdiff -baseline BENCH_update.json -new fresh.json
+//
+// Machine-to-machine ns/op variance is large; compare like with like (same
+// machine as the committed baseline) or raise -tol. The CI job that runs
+// this is advisory (continue-on-error) for exactly that reason.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ivmeps/internal/benchutil"
+)
+
+func readReport(path string) (*benchutil.GoBenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep benchutil.GoBenchReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func main() {
+	var (
+		basePath     = flag.String("baseline", "BENCH_update.json", "committed baseline report")
+		newPath      = flag.String("new", "", "fresh bench2json report to compare (required)")
+		tol          = flag.Float64("tol", 0.30, "allowed fractional ns/op regression")
+		allocTol     = flag.Float64("alloc-tol", 0.01, "allowed fractional allocs/op increase (zero-alloc baselines still fail on any allocation)")
+		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the fresh run")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := readReport(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := readReport(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	diffs := benchutil.CompareReports(base, fresh, benchutil.DiffOptions{
+		NsTolerance:    *tol,
+		AllocTolerance: *allocTol,
+		AllowMissing:   *allowMissing,
+	})
+	bad := 0
+	fmt.Printf("%-55s %12s %12s %8s %9s  %s\n", "benchmark", "base ns/op", "new ns/op", "Δ%", "allocs", "verdict")
+	for _, d := range diffs {
+		verdict := "ok"
+		switch {
+		case d.Bad:
+			verdict = "FAIL: " + d.Reason
+			bad++
+		case d.Missing:
+			verdict = "missing (tolerated)"
+		case d.New:
+			verdict = "new (no baseline)"
+		}
+		allocs := fmt.Sprintf("%.0f→%.0f", d.BaseAllocs, d.NewAllocs)
+		if d.Missing {
+			fmt.Printf("%-55s %12.0f %12s %8s %9s  %s\n", d.Name, d.BaseNs, "-", "-", "-", verdict)
+			continue
+		}
+		if d.New {
+			fmt.Printf("%-55s %12s %12.0f %8s %9s  %s\n", d.Name, "-", d.NewNs, "-", allocs, verdict)
+			continue
+		}
+		fmt.Printf("%-55s %12.0f %12.0f %+7.1f%% %9s  %s\n", d.Name, d.BaseNs, d.NewNs, 100*d.NsDelta(), allocs, verdict)
+	}
+	if bad > 0 {
+		fmt.Printf("\nbenchdiff: %d benchmark(s) regressed against %s (ns/op tolerance %.0f%%, allocs/op tolerance %.1f%%)\n",
+			bad, *basePath, 100**tol, 100**allocTol)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: no regressions against %s (%d compared, ns/op tolerance %.0f%%, allocs/op tolerance %.1f%%)\n",
+		*basePath, len(diffs), 100**tol, 100**allocTol)
+}

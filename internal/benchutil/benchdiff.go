@@ -1,0 +1,99 @@
+package benchutil
+
+import "fmt"
+
+// Benchmark regression gate: compare a fresh bench2json report against a
+// committed baseline (BENCH_update.json). Time is compared with a generous
+// fractional tolerance, since ns/op is machine- and load-dependent;
+// allocations are compared near-exactly — an allocation creeping into a
+// zero-alloc hot path is precisely the regression class the gate exists to
+// catch, and a zero or single-digit allocs/op baseline fails on any
+// increase at every sane AllocTolerance.
+
+// DiffOptions tunes CompareReports.
+type DiffOptions struct {
+	// NsTolerance is the allowed fractional ns/op regression before a
+	// benchmark fails: 0.30 passes anything up to 30% slower than baseline.
+	NsTolerance float64
+	// AllocTolerance is the allowed fractional allocs/op increase. It
+	// exists for macro benchmarks with six-figure alloc counts, where
+	// warm-up amortization over a handful of iterations jitters the count
+	// by a fraction of a percent; a zero-alloc baseline still fails on any
+	// allocation at every tolerance (0 × anything = 0), and low-alloc
+	// baselines fail on +1. Keep it well under 1 / (smallest pinned
+	// baseline count) if in doubt; 0 restores the fully strict gate.
+	AllocTolerance float64
+	// AllowMissing suppresses failures for baseline benchmarks absent from
+	// the fresh run (e.g. when diffing a partial run).
+	AllowMissing bool
+}
+
+// BenchDiff is the comparison result for one benchmark name.
+type BenchDiff struct {
+	Name                  string
+	BaseNs, NewNs         float64
+	BaseAllocs, NewAllocs float64
+	// Missing: in the baseline but not in the fresh run. New: in the fresh
+	// run but not in the baseline (informational, never a failure).
+	Missing, New bool
+	// Bad marks a gate failure; Reason says why.
+	Bad    bool
+	Reason string
+}
+
+// NsDelta returns the fractional ns/op change (+0.10 = 10% slower).
+func (d *BenchDiff) NsDelta() float64 {
+	if d.BaseNs == 0 {
+		return 0
+	}
+	return d.NewNs/d.BaseNs - 1
+}
+
+// CompareReports diffs a fresh report against the baseline, in baseline
+// order (fresh-only benchmarks appended). A benchmark fails the gate when
+// its ns/op regresses beyond the tolerance, when its allocs/op regresses at
+// all, or when it disappeared from the fresh run (unless AllowMissing).
+func CompareReports(base, fresh *GoBenchReport, opts DiffOptions) []BenchDiff {
+	fresh2 := map[string]*GoBenchResult{}
+	for i := range fresh.Benchmarks {
+		fresh2[fresh.Benchmarks[i].Name] = &fresh.Benchmarks[i]
+	}
+	seen := map[string]bool{}
+	var out []BenchDiff
+	for i := range base.Benchmarks {
+		b := &base.Benchmarks[i]
+		seen[b.Name] = true
+		d := BenchDiff{Name: b.Name, BaseNs: b.NsPerOp, BaseAllocs: b.AllocsPerOp}
+		f, ok := fresh2[b.Name]
+		if !ok {
+			d.Missing = true
+			if !opts.AllowMissing {
+				d.Bad = true
+				d.Reason = "missing from the fresh run (bench regex no longer covers it?)"
+			}
+			out = append(out, d)
+			continue
+		}
+		d.NewNs, d.NewAllocs = f.NsPerOp, f.AllocsPerOp
+		switch {
+		case d.NewAllocs > d.BaseAllocs*(1+opts.AllocTolerance):
+			d.Bad = true
+			d.Reason = fmt.Sprintf("allocs/op regressed: %.0f -> %.0f (tolerance %.1f%%)",
+				d.BaseAllocs, d.NewAllocs, 100*opts.AllocTolerance)
+		case d.BaseNs > 0 && d.NewNs > d.BaseNs*(1+opts.NsTolerance):
+			d.Bad = true
+			d.Reason = fmt.Sprintf("ns/op regressed %+.1f%% (tolerance %.0f%%)",
+				100*d.NsDelta(), 100*opts.NsTolerance)
+		}
+		out = append(out, d)
+	}
+	for i := range fresh.Benchmarks {
+		f := &fresh.Benchmarks[i]
+		if !seen[f.Name] {
+			out = append(out, BenchDiff{
+				Name: f.Name, New: true, NewNs: f.NsPerOp, NewAllocs: f.AllocsPerOp,
+			})
+		}
+	}
+	return out
+}

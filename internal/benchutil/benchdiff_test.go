@@ -1,0 +1,82 @@
+package benchutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(benches ...GoBenchResult) *GoBenchReport {
+	return &GoBenchReport{Benchmarks: benches}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := report(
+		GoBenchResult{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 0},
+		GoBenchResult{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 5},
+		GoBenchResult{Name: "BenchmarkGone", NsPerOp: 10},
+	)
+	fresh := report(
+		GoBenchResult{Name: "BenchmarkA", NsPerOp: 120, AllocsPerOp: 0},  // +20%: within tol
+		GoBenchResult{Name: "BenchmarkB", NsPerOp: 900, AllocsPerOp: 6},  // alloc regression
+		GoBenchResult{Name: "BenchmarkNew", NsPerOp: 50, AllocsPerOp: 1}, // informational
+	)
+	diffs := CompareReports(base, fresh, DiffOptions{NsTolerance: 0.30})
+	byName := map[string]BenchDiff{}
+	for _, d := range diffs {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkA"]; d.Bad {
+		t.Fatalf("A failed within tolerance: %+v", d)
+	}
+	if d := byName["BenchmarkB"]; !d.Bad || !strings.Contains(d.Reason, "allocs/op") {
+		t.Fatalf("B alloc regression not flagged: %+v", d)
+	}
+	if d := byName["BenchmarkGone"]; !d.Bad || !d.Missing {
+		t.Fatalf("missing benchmark not flagged: %+v", d)
+	}
+	if d := byName["BenchmarkNew"]; d.Bad || !d.New {
+		t.Fatalf("fresh-only benchmark should be informational: %+v", d)
+	}
+
+	// A fractional alloc tolerance absorbs jitter on large counts but a
+	// zero-alloc baseline still fails on any allocation.
+	baseBig := report(
+		GoBenchResult{Name: "BenchmarkBig", NsPerOp: 100, AllocsPerOp: 100000},
+		GoBenchResult{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: 0},
+	)
+	freshBig := report(
+		GoBenchResult{Name: "BenchmarkBig", NsPerOp: 100, AllocsPerOp: 100500},
+		GoBenchResult{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: 1},
+	)
+	diffs = CompareReports(baseBig, freshBig, DiffOptions{NsTolerance: 0.30, AllocTolerance: 0.01})
+	byName = map[string]BenchDiff{}
+	for _, d := range diffs {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkBig"]; d.Bad {
+		t.Fatalf("0.5%% alloc jitter failed under 1%% tolerance: %+v", d)
+	}
+	if d := byName["BenchmarkZero"]; !d.Bad || !strings.Contains(d.Reason, "allocs/op") {
+		t.Fatalf("zero-alloc baseline gaining an alloc not flagged: %+v", d)
+	}
+
+	// Time regression beyond tolerance fails; missing tolerated on demand.
+	fresh2 := report(
+		GoBenchResult{Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: 0},
+		GoBenchResult{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 5},
+	)
+	diffs = CompareReports(base, fresh2, DiffOptions{NsTolerance: 0.30, AllowMissing: true})
+	byName = map[string]BenchDiff{}
+	for _, d := range diffs {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkA"]; !d.Bad || !strings.Contains(d.Reason, "ns/op") {
+		t.Fatalf("50%% time regression not flagged: %+v", d)
+	}
+	if d := byName["BenchmarkGone"]; d.Bad {
+		t.Fatalf("AllowMissing did not tolerate a missing benchmark: %+v", d)
+	}
+	if d := byName["BenchmarkB"]; d.Bad {
+		t.Fatalf("unchanged benchmark flagged: %+v", d)
+	}
+}

@@ -19,6 +19,28 @@ import (
 // implementation-defined — the exact threshold base M after growth and
 // which keys sit in the light parts — may differ within the allowed
 // invariants, exactly as a different update order would.
+//
+// With Options.Workers > 1 the per-tree propagations of a batch run on a
+// worker pool (worker.go). The propagation work is phased so that parallel
+// sections only ever write views of distinct trees and only read the
+// relations shared across trees:
+//
+//	phase 1 (parallel)  δR through every Atom leaf of the main trees and
+//	                    every Atom leaf of the indicator All trees — the
+//	                    base relations are updated before the phase, and
+//	                    the light parts and ∃H relations are untouched;
+//	phase 2 (sequential) per indicator: refresh ∃H per distinct key and
+//	                    propagate δ(∃H); interleaving matters here because
+//	                    one indicator's propagation may read another's ∃H;
+//	then per partition:  apply the light-routed delta to the light part
+//	                    (sequential), propagate it through the main trees'
+//	                    LightAtom leaves and the indicator L trees
+//	                    (parallel), then refresh/propagate ∃H and run the
+//	                    minor-rebalance checks (sequential).
+//
+// Within one tree, jobs keep their sequential order on a single worker, so
+// the final state is byte-for-byte the sequential batch result regardless
+// of worker count or interleaving.
 
 // ApplyBatch applies the updates {rows[i] → mults[i]} to relation rel as
 // one batch. A nil mults applies every row with multiplicity +1. Rows are
@@ -86,7 +108,7 @@ func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error
 	}
 
 	// One aggregated delta for the whole batch; zero-net tuples drop out.
-	d := e.getDelta()
+	d := e.ws0.getDelta()
 	for i := range groups {
 		if groups[i].net != 0 {
 			d.appendRow(groups[i].t, groups[i].net)
@@ -99,8 +121,9 @@ func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error
 			e.applyBatchOcc(e.routes[o], d)
 		}
 	}
-	e.putDelta(d)
+	e.ws0.putDelta(d)
 	e.stats.Updates += int64(applied)
+	e.flushWorkerStats()
 	return nil
 }
 
@@ -145,8 +168,11 @@ func (e *Engine) applyBatchOcc(rt *relRoutes, d *delta) {
 	}
 
 	// Apply the batch to the base relation, maintaining N incrementally,
-	// and propagate the combined delta through every main tree and every
-	// affected All tree.
+	// then propagate the combined delta through every main tree and every
+	// affected All tree — phase 1, one job group per tree, run on the
+	// worker pool. The base relations are fully updated before the phase
+	// and the light parts and ∃H relations are untouched during it, so
+	// concurrent tree propagations read a consistent frozen sibling state.
 	before := base.Size()
 	for i := range d.rows {
 		base.MustAdd(d.rows[i].t, d.rows[i].m)
@@ -155,13 +181,19 @@ func (e *Engine) applyBatchOcc(rt *relRoutes, d *delta) {
 		e.n += base.Size() - before
 	}
 	for _, lp := range rt.atomLeaves {
-		e.propagatePath(lp, d)
+		e.enqueue(lp, d)
 	}
 	for _, ir := range rt.inds {
 		for _, lp := range ir.allLeaves {
-			e.propagatePath(lp, d)
+			e.enqueue(lp, d)
 		}
-		// δ(∃H) once per distinct indicator key of the batch.
+	}
+	e.runJobs()
+	// Phase 2: δ(∃H) once per distinct indicator key of the batch,
+	// sequential because indicator propagation in one main tree may read
+	// the ∃H relation of a later indicator (the refresh/propagate
+	// interleaving must match the sequential order).
+	for _, ir := range rt.inds {
 		e.refreshBatchH(ir, d)
 	}
 
@@ -188,10 +220,14 @@ func (e *Engine) applyBatchOcc(rt *relRoutes, d *delta) {
 	// Route to the light parts, one combined delta per partition: a key's
 	// rows go to the light part if the key was new or light before the
 	// batch; then run the minor-rebalancing checks once per distinct key.
+	// The light part is updated before its propagation phase, and the
+	// LightAtom paths of the main trees and the indicator L trees are
+	// disjoint tree sets, so the per-tree jobs parallelize; the ∃H
+	// refresh/propagate pairs after the phase stay sequential.
 	theta := e.Theta()
 	for pi, pr := range rt.parts {
 		keys := perPart[pi]
-		ld := e.getDelta()
+		ld := e.ws0.getDelta()
 		for ki := range keys {
 			bk := &keys[ki]
 			if !bk.preLight && bk.preDeg != 0 {
@@ -207,12 +243,15 @@ func (e *Engine) applyBatchOcc(rt *relRoutes, d *delta) {
 				light.MustAdd(ld.rows[i].t, ld.rows[i].m)
 			}
 			for _, lp := range pr.lightLeaves {
-				e.propagatePath(lp, ld)
+				e.enqueue(lp, ld)
 			}
 			for _, il := range pr.inds {
 				for _, lp := range il.lLeaves {
-					e.propagatePath(lp, ld)
+					e.enqueue(lp, ld)
 				}
+			}
+			e.runJobs()
+			for _, il := range pr.inds {
 				// The indicator keys equal the partition keys; refresh ∃H
 				// once per light-routed key.
 				for ki := range keys {
@@ -226,7 +265,7 @@ func (e *Engine) applyBatchOcc(rt *relRoutes, d *delta) {
 				}
 			}
 		}
-		e.putDelta(ld)
+		e.ws0.putDelta(ld)
 		for ki := range keys {
 			key := keys[ki].key
 			lightDeg := float64(pr.p.LightDegree(key))

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"ivmeps/internal/query"
 	"ivmeps/internal/relation"
@@ -35,6 +36,14 @@ type Options struct {
 	// enumeration of non-free-connex queries falls back to join work at
 	// enumeration time.
 	PlainViewTree bool
+
+	// Workers bounds the worker goroutines ApplyBatch uses to propagate a
+	// batch across independent view trees: 0 (the default) picks
+	// GOMAXPROCS-bounded auto, 1 forces the sequential path, and an
+	// explicit N > 1 is honored as given (capped by the number of view
+	// trees). Single-tuple Update is always sequential. See Engine.Close
+	// for the pool's lifetime.
+	Workers int
 
 	// NoAuxViews is an ablation switch: build the dynamic trees without
 	// the auxiliary views of Figure 8. Results stay correct, but delta
@@ -75,17 +84,28 @@ type Engine struct {
 	// preprocessing time (routes.go); they drive the update hot path.
 	routes map[string]*relRoutes
 
-	// deltaPool recycles deltas (and their row buffers) across propagations;
-	// d1 is the reusable single-row delta of the single-tuple update path.
-	deltaPool []*delta
-	d1        delta
+	// ws0 is the engine goroutine's own worker scratch (ubind bindings,
+	// delta pool, relation key scratch); the sequential update path and
+	// every sequential section of ApplyBatch run on it. Parallel batch
+	// phases add pool helpers, each with its own workerState (worker.go).
+	ws0      workerState
+	nWorkers int // resolved Options.Workers; set by buildRoutes
+	pool     *workerPool
+	cleanup  runtime.Cleanup
+
+	// treeID densely numbers every view tree (main, All, L) of the forest;
+	// jobGroups queues the propagation jobs of one batch phase, one group
+	// per view tree (the unit of parallelism); activeGroups lists the
+	// non-empty groups. The groups are reset after every phase.
+	treeID       map[*viewtree.Node]int
+	jobGroups    [][]propJob
+	activeGroups []int
 
 	// Variable slots for enumeration bindings.
 	vars  tuple.Schema
 	slot  map[tuple.Variable]int
 	bind  []tuple.Value
 	bound []bool
-	ubind []tuple.Value // scratch bindings for update plans
 
 	// freeSlots are the slots of free(Q) in head order.
 	freeSlots []int
@@ -207,7 +227,7 @@ func New(q *query.Query, opts Options) (*Engine, error) {
 	e.vars = e.q.Vars()
 	e.bind = make([]tuple.Value, len(e.vars))
 	e.bound = make([]bool, len(e.vars))
-	e.ubind = make([]tuple.Value, len(e.vars))
+	e.ws0.ubind = make([]tuple.Value, len(e.vars))
 	for i, v := range e.vars {
 		e.slot[v] = i
 	}

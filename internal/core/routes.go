@@ -19,7 +19,13 @@ package core
 // Route structures cache *relation.Relation pointers, which is sound
 // because materializeAll refills relations in place (identity is stable
 // across major rebalancing). All scratch buffers below make the
-// single-tuple update path allocation-free; the engine is single-threaded.
+// single-tuple update path allocation-free; they are only ever touched from
+// the engine's own goroutine (parallel batch phases keep their mutable
+// scratch in per-worker state instead — see worker.go).
+//
+// Every leafPath also records the view tree it belongs to (a dense id over
+// all main, All, and L trees): trees are the unit of parallelism of the
+// batch path, and the id selects the leaf's job group.
 
 import (
 	"ivmeps/internal/relation"
@@ -41,6 +47,7 @@ type relRoutes struct {
 // leafPath is the fixed leaf→root propagation chain above one leaf.
 type leafPath struct {
 	leaf  *viewtree.Node
+	tree  int // dense id of the leaf's view tree (job-group index)
 	edges []pathEdge
 }
 
@@ -89,6 +96,20 @@ func (e *Engine) buildRoutes() {
 	for _, occ := range e.occ {
 		counting[occ[0]] = true
 	}
+
+	// Dense tree ids over every tree of the forest (main trees first, then
+	// each indicator's All and L trees); buildPath resolves a leaf's id
+	// through its root.
+	e.treeID = map[*viewtree.Node]int{}
+	for _, tr := range e.forest.Trees() {
+		e.treeID[tr] = len(e.treeID)
+	}
+	for _, ind := range e.forest.Indicators {
+		e.treeID[ind.All] = len(e.treeID)
+		e.treeID[ind.L] = len(e.treeID)
+	}
+	e.jobGroups = make([][]propJob, len(e.treeID))
+	e.nWorkers = e.resolveWorkers(len(e.treeID))
 
 	shared := map[*viewtree.Indicator]*indShared{}
 	for _, ind := range e.forest.Indicators {
@@ -170,6 +191,7 @@ func (e *Engine) buildPath(leaf *viewtree.Node) *leafPath {
 		lp.edges = append(lp.edges, pathEdge{plan: e.updatePlan(n, child), view: e.views[n.Name]})
 		child = n
 	}
+	lp.tree = e.treeID[child] // child is the tree's root after the walk
 	return lp
 }
 

@@ -77,22 +77,6 @@ func (d *delta) add(t tuple.Tuple, m int64) {
 	d.idx[tuple.Key(d.keyBuf)] = d.appendRow(t, m)
 }
 
-// getDelta and putDelta pool deltas (and their row/tuple buffers) across
-// propagations.
-func (e *Engine) getDelta() *delta {
-	if n := len(e.deltaPool); n > 0 {
-		d := e.deltaPool[n-1]
-		e.deltaPool = e.deltaPool[:n-1]
-		return d
-	}
-	return &delta{}
-}
-
-func (e *Engine) putDelta(d *delta) {
-	d.reset()
-	e.deltaPool = append(e.deltaPool, d)
-}
-
 // Update applies a single-tuple update δR = {t → m} to relation rel:
 // m > 0 inserts, m < 0 deletes. Deletes that exceed the stored multiplicity
 // are rejected. This is the paper's OnUpdate trigger (Figure 22), including
@@ -126,7 +110,15 @@ func (e *Engine) Update(rel string, t tuple.Tuple, m int64) error {
 		e.onUpdate(e.routes[o], t, m)
 	}
 	e.stats.Updates++
+	e.flushWorkerStats()
 	return nil
+}
+
+// flushWorkerStats folds the engine goroutine's propagation counters into
+// the stats. Pool helpers are folded by runJobsParallel when they quiesce.
+func (e *Engine) flushWorkerStats() {
+	e.stats.DeltasApplied += e.ws0.deltasApplied
+	e.ws0.deltasApplied = 0
 }
 
 // setM sets the rebalancing threshold base, clamped to ≥ 1 so the size
@@ -170,7 +162,7 @@ func (e *Engine) onUpdate(rt *relRoutes, t tuple.Tuple, m int64) {
 // updateTrees is UpdateTrees (Figure 19), driven by the precomputed routes.
 func (e *Engine) updateTrees(rt *relRoutes, t tuple.Tuple, m int64) {
 	base := rt.base
-	d := &e.d1
+	d := &e.ws0.d1
 	d.reset()
 	d.appendRow(t, m)
 
@@ -190,11 +182,11 @@ func (e *Engine) updateTrees(rt *relRoutes, t tuple.Tuple, m int64) {
 		e.n += base.Size() - before
 	}
 	for _, lp := range rt.atomLeaves {
-		e.propagatePath(lp, d)
+		e.ws0.propagatePath(lp, d)
 	}
 	for _, ir := range rt.inds {
 		for _, lp := range ir.allLeaves {
-			e.propagatePath(lp, d)
+			e.ws0.propagatePath(lp, d)
 		}
 		// δ(∃H) from the All change (lines 7–9).
 		ir.keyScratch = ir.keyProj.AppendTo(ir.keyScratch[:0], t)
@@ -210,14 +202,14 @@ func (e *Engine) updateTrees(rt *relRoutes, t tuple.Tuple, m int64) {
 		}
 		pr.p.Light().MustAdd(t, m)
 		for _, lp := range pr.lightLeaves {
-			e.propagatePath(lp, d)
+			e.ws0.propagatePath(lp, d)
 		}
 		// The light indicator trees and the resulting ∃H changes. The
 		// indicator keys equal the partition key (ind.Keys = p.Key()),
 		// still in pr.keyScratch from the routing pass.
 		for _, il := range pr.inds {
 			for _, lp := range il.lLeaves {
-				e.propagatePath(lp, d)
+				e.ws0.propagatePath(lp, d)
 			}
 			if dh := e.refreshH(il.s, pr.keyScratch); dh != 0 {
 				e.propagateIndicator(il.s, pr.keyScratch, dh)
@@ -254,27 +246,38 @@ func (e *Engine) refreshH(s *indShared, key tuple.Tuple) int64 {
 
 // propagateIndicator pushes a δ(∃H) = {key → dh} change through every main
 // tree containing a reference to the indicator (Figure 19 lines 9 and 14).
+// Indicator propagation is always sequential (on ws0): its trees' sibling
+// probes may read the ∃H relations of other indicators, so its order
+// relative to refreshH calls must match the sequential semantics.
 func (e *Engine) propagateIndicator(s *indShared, key tuple.Tuple, dh int64) {
 	d := &s.d1
 	d.reset()
 	d.appendRow(key, dh)
 	for _, lp := range s.refLeaves {
-		e.propagatePath(lp, d)
+		e.ws0.propagatePath(lp, d)
 	}
 }
 
 // propagatePath propagates a delta from one leaf to the root of its tree,
 // maintaining each view on the path (Apply, Figure 17). The leaf's own
 // relation must already be updated. The input delta is read-only; deltas
-// computed along the path come from (and return to) the engine's pool.
-func (e *Engine) propagatePath(lp *leafPath, d *delta) {
+// computed along the path come from (and return to) the worker's pool.
+//
+// Concurrency: the only relations written are the views on the path, which
+// belong to the leaf's tree; sibling probes may touch relations shared
+// across trees (base relations, light parts, ∃H) but only read them,
+// through the worker's own key scratch. Concurrent propagation is
+// therefore safe exactly when (a) no two concurrent paths share a tree and
+// (b) nothing mutates the shared leaf relations during the phase — the
+// invariants runJobs maintains.
+func (ws *workerState) propagatePath(lp *leafPath, d *delta) {
 	cur := d
 	for i := range lp.edges {
 		edge := &lp.edges[i]
-		out := e.getDelta()
-		edge.plan.run(e, cur, out)
+		out := ws.getDelta()
+		edge.plan.run(ws, cur, out)
 		if cur != d {
-			e.putDelta(cur)
+			ws.putDelta(cur)
 		}
 		cur = out
 		// Apply δV to the materialized parent view.
@@ -284,7 +287,7 @@ func (e *Engine) propagatePath(lp *leafPath, d *delta) {
 				continue
 			}
 			edge.view.MustAdd(cur.rows[j].t, cur.rows[j].m)
-			e.stats.DeltasApplied++
+			ws.deltasApplied++
 			applied = true
 		}
 		if !applied {
@@ -292,7 +295,7 @@ func (e *Engine) propagatePath(lp *leafPath, d *delta) {
 		}
 	}
 	if cur != d {
-		e.putDelta(cur)
+		ws.putDelta(cur)
 	}
 }
 
@@ -386,9 +389,14 @@ func (e *Engine) updatePlan(n *viewtree.Node, child *viewtree.Node) *updPlan {
 }
 
 // run evaluates δV = δchild ⋈ siblings over the plan, accumulating the
-// (possibly signed) output rows into out, aggregated by tuple.
-func (p *updPlan) run(e *Engine, d *delta, out *delta) {
-	scratch := e.ubind
+// (possibly signed) output rows into out, aggregated by tuple. The bindings
+// live in the worker's ubind scratch, and sibling probes go through the
+// worker's relation scratch, so plans over shared sibling relations can run
+// concurrently from different workers. The plan's own keyScratch/outScratch
+// buffers need no per-worker copy: a plan belongs to one tree edge, and one
+// tree is always drained by a single worker.
+func (p *updPlan) run(ws *workerState, d *delta, out *delta) {
+	scratch := ws.ubind
 	for i := range d.rows {
 		w := &d.rows[i]
 		if w.m == 0 {
@@ -397,11 +405,11 @@ func (p *updPlan) run(e *Engine, d *delta, out *delta) {
 		for k, s := range p.deltaSlots {
 			scratch[s] = w.t[k]
 		}
-		p.rec(scratch, 0, w.m, out)
+		p.rec(ws, scratch, 0, w.m, out)
 	}
 }
 
-func (p *updPlan) rec(scratch []tuple.Value, i int, mult int64, out *delta) {
+func (p *updPlan) rec(ws *workerState, scratch []tuple.Value, i int, mult int64, out *delta) {
 	if i == len(p.steps) {
 		for k, s := range p.outSlots {
 			p.outScratch[k] = scratch[s]
@@ -415,8 +423,8 @@ func (p *updPlan) rec(scratch []tuple.Value, i int, mult int64, out *delta) {
 		key[k] = scratch[s]
 	}
 	if st.full {
-		if m := st.rel.Mult(key); m != 0 {
-			p.rec(scratch, i+1, mult*m, out)
+		if m := st.rel.MultScratch(&ws.rs, key); m != 0 {
+			p.rec(ws, scratch, i+1, mult*m, out)
 		}
 		return
 	}
@@ -425,16 +433,16 @@ func (p *updPlan) rec(scratch []tuple.Value, i int, mult int64, out *delta) {
 			for k, pos := range st.freshPos {
 				scratch[st.freshSlot[k]] = en.Tuple[pos]
 			}
-			p.rec(scratch, i+1, mult*en.Mult, out)
+			p.rec(ws, scratch, i+1, mult*en.Mult, out)
 		}
 		return
 	}
-	for n := st.index.FirstMatch(key); n != nil; n = n.Next() {
+	for n := st.index.FirstMatchScratch(&ws.rs, key); n != nil; n = n.Next() {
 		en := n.Entry()
 		for k, pos := range st.freshPos {
 			scratch[st.freshSlot[k]] = en.Tuple[pos]
 		}
-		p.rec(scratch, i+1, mult*en.Mult, out)
+		p.rec(ws, scratch, i+1, mult*en.Mult, out)
 	}
 }
 
@@ -455,7 +463,7 @@ func (e *Engine) minorRebalance(pr *partRoute, key tuple.Tuple, insert bool) {
 	p := pr.p
 	base := p.Relation()
 	ix := base.Index(p.Key())
-	d := e.getDelta()
+	d := e.ws0.getDelta()
 	ix.ForEachMatch(key, func(t tuple.Tuple, m int64) {
 		if insert {
 			d.appendRow(t, m)
@@ -472,17 +480,17 @@ func (e *Engine) minorRebalance(pr *partRoute, key tuple.Tuple, insert bool) {
 	// share the partition key, which equals the indicator key, so one ∃H
 	// refresh per indicator suffices.
 	for _, lp := range pr.lightLeaves {
-		e.propagatePath(lp, d)
+		e.ws0.propagatePath(lp, d)
 	}
 	for _, il := range pr.inds {
 		for _, lp := range il.lLeaves {
-			e.propagatePath(lp, d)
+			e.ws0.propagatePath(lp, d)
 		}
 		if dh := e.refreshH(il.s, key); dh != 0 {
 			e.propagateIndicator(il.s, key, dh)
 		}
 	}
-	e.putDelta(d)
+	e.ws0.putDelta(d)
 	e.stats.MinorRebalances++
 }
 

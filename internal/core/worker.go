@@ -1,0 +1,243 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ivmeps/internal/relation"
+	"ivmeps/internal/tuple"
+)
+
+// Parallel batch propagation. ApplyBatch reduces a batch to one aggregated
+// delta per view-tree leaf; the per-tree propagations of one phase are
+// independent (they write only views of their own tree and read shared leaf
+// relations — base relations, light parts, ∃H — that no phase member
+// mutates), so they can run on a bounded worker pool.
+//
+// All mutable scratch of the propagation hot path lives in a workerState:
+// the ubind binding slots of the update plans, the delta pool, and the
+// key-encoding buffer used to probe shared relations (relation.Scratch).
+// Every worker — including the engine's own goroutine, which owns ws0 and
+// participates in every phase — propagates its assigned trees without
+// heap allocation in steady state and without touching another worker's
+// scratch. Per-plan scratch (keyScratch, outScratch) needs no duplication:
+// a plan belongs to one tree edge, and a tree is drained by one worker.
+//
+// Work is distributed as per-tree job groups: enqueue collects
+// (leafPath, delta) jobs grouped by the leaf's tree, and runJobs drains
+// whole groups, claiming group indexes with an atomic counter. Jobs within
+// a group run in enqueue order on a single worker, which preserves the
+// sequential batch semantics tree by tree; groups may interleave freely
+// because a phase's trees are independent.
+//
+// The pool's goroutines are persistent (spawning per batch would allocate
+// on the hot path): they block on a task channel, and each phase sends one
+// reused *poolTask per helper. The pool deliberately holds no reference to
+// the Engine, so an abandoned engine remains collectible; a runtime cleanup
+// closes the pool if Close was never called.
+
+// workerState is one worker's mutable scratch for delta propagation.
+type workerState struct {
+	ubind     []tuple.Value // binding slots for update plans
+	deltaPool []*delta
+	rs        relation.Scratch // key scratch for shared-relation probes
+
+	// d1 is the reusable single-row delta of the single-tuple update path
+	// (used only via the engine's ws0).
+	d1 delta
+
+	// deltasApplied counts view maintenance writes; merged into
+	// Stats.DeltasApplied when the worker quiesces.
+	deltasApplied int64
+}
+
+func newWorkerState(vars int) *workerState {
+	return &workerState{ubind: make([]tuple.Value, vars)}
+}
+
+// getDelta and putDelta pool deltas (and their row/tuple buffers) across
+// propagations, per worker.
+func (ws *workerState) getDelta() *delta {
+	if n := len(ws.deltaPool); n > 0 {
+		d := ws.deltaPool[n-1]
+		ws.deltaPool = ws.deltaPool[:n-1]
+		return d
+	}
+	return &delta{}
+}
+
+func (ws *workerState) putDelta(d *delta) {
+	d.reset()
+	ws.deltaPool = append(ws.deltaPool, d)
+}
+
+// propJob is one queued propagation: push delta d from leaf lp to its root.
+type propJob struct {
+	lp *leafPath
+	d  *delta
+}
+
+// poolTask describes one parallel phase. Workers claim per-tree job groups
+// by incrementing next; wg counts the helper goroutines still draining.
+type poolTask struct {
+	jobs   [][]propJob // per-tree job groups (the engine's jobGroups)
+	groups []int       // indexes of the non-empty groups of this phase
+	next   atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// drain claims and propagates job groups until the task is exhausted.
+func (ws *workerState) drain(t *poolTask) {
+	for {
+		i := int(t.next.Add(1)) - 1
+		if i >= len(t.groups) {
+			return
+		}
+		for j := range t.jobs[t.groups[i]] {
+			jb := &t.jobs[t.groups[i]][j]
+			ws.propagatePath(jb.lp, jb.d)
+		}
+	}
+}
+
+// workerPool holds the persistent helper goroutines. It must not reference
+// the Engine (the runtime cleanup that closes it would otherwise never
+// fire).
+type workerPool struct {
+	states []*workerState
+	tasks  chan *poolTask
+	task   poolTask // reused phase descriptor
+}
+
+// newWorkerPool starts helpers persistent goroutines.
+func newWorkerPool(helpers, vars int) *workerPool {
+	p := &workerPool{tasks: make(chan *poolTask, helpers)}
+	for i := 0; i < helpers; i++ {
+		ws := newWorkerState(vars)
+		p.states = append(p.states, ws)
+		go func() {
+			for t := range p.tasks {
+				ws.drain(t)
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) close() { close(p.tasks) }
+
+// enqueue queues one propagation job on the leaf's tree group.
+func (e *Engine) enqueue(lp *leafPath, d *delta) {
+	g := lp.tree
+	if len(e.jobGroups[g]) == 0 {
+		e.activeGroups = append(e.activeGroups, g)
+	}
+	e.jobGroups[g] = append(e.jobGroups[g], propJob{lp: lp, d: d})
+}
+
+// parallelMinRows is the minimum queued delta-row volume (summed over the
+// phase's jobs) before runJobs pays for the pool handoff; smaller phases —
+// e.g. the light routing of a partition that received a handful of rows —
+// run faster inline. Tests zero it to force every phase onto the pool.
+var parallelMinRows = 64
+
+// runJobs drains all queued job groups, in parallel when the engine has
+// workers, the phase spans more than one tree, and the queued work is
+// large enough to amortize the pool handoff. Within a tree, jobs run in
+// enqueue order; the deltas referenced by the jobs are read-only for the
+// duration of the phase.
+func (e *Engine) runJobs() {
+	groups := e.activeGroups
+	if len(groups) == 0 {
+		return
+	}
+	if e.nWorkers > 1 && len(groups) > 1 && e.queuedRows(groups) >= parallelMinRows {
+		e.runJobsParallel(groups)
+	} else {
+		for _, g := range groups {
+			for j := range e.jobGroups[g] {
+				jb := &e.jobGroups[g][j]
+				e.ws0.propagatePath(jb.lp, jb.d)
+			}
+		}
+	}
+	for _, g := range groups {
+		e.jobGroups[g] = e.jobGroups[g][:0]
+	}
+	e.activeGroups = e.activeGroups[:0]
+}
+
+// queuedRows estimates a phase's work as the total input delta rows across
+// its queued jobs.
+func (e *Engine) queuedRows(groups []int) int {
+	rows := 0
+	for _, g := range groups {
+		for j := range e.jobGroups[g] {
+			rows += len(e.jobGroups[g][j].d.rows)
+		}
+	}
+	return rows
+}
+
+func (e *Engine) runJobsParallel(groups []int) {
+	if e.pool == nil {
+		// Lazy start, so engines that never batch in parallel spawn nothing.
+		e.pool = newWorkerPool(e.nWorkers-1, len(e.vars))
+		e.cleanup = runtime.AddCleanup(e, func(p *workerPool) { p.close() }, e.pool)
+	}
+	t := &e.pool.task
+	t.jobs = e.jobGroups
+	t.groups = groups
+	t.next.Store(0)
+	helpers := len(e.pool.states)
+	if helpers > len(groups)-1 {
+		helpers = len(groups) - 1
+	}
+	t.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		e.pool.tasks <- t
+	}
+	e.ws0.drain(t)
+	t.wg.Wait()
+	t.jobs, t.groups = nil, nil
+	// All helpers are quiescent after Wait; fold their counters into the
+	// engine's stats.
+	for _, ws := range e.pool.states {
+		e.stats.DeltasApplied += ws.deltasApplied
+		ws.deltasApplied = 0
+	}
+}
+
+// Close releases the engine's worker goroutines, if any were started. It is
+// idempotent and safe on any engine, even one that never batched; using the
+// engine for further parallel batches after Close restarts the pool. A
+// runtime cleanup closes the pool of engines that are garbage-collected
+// without Close.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.cleanup.Stop()
+		e.pool.close()
+		e.pool = nil
+	}
+}
+
+// resolveWorkers turns Options.Workers into the worker count used by
+// ApplyBatch: 0 means GOMAXPROCS-bounded auto, 1 (or negative) sequential,
+// and any explicit count is honored even beyond GOMAXPROCS (useful under
+// the race detector). The count is additionally capped by the number of
+// view trees, the unit of parallelism.
+func (e *Engine) resolveWorkers(trees int) int {
+	w := e.opts.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > trees {
+		w = trees
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

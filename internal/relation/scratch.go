@@ -1,0 +1,53 @@
+package relation
+
+import "ivmeps/internal/tuple"
+
+// Scratch is caller-owned scratch state for probing relations and indexes
+// concurrently. The plain probe methods (Mult, FirstMatch, Count, ...)
+// encode their key into a buffer stored on the Relation or Index, which
+// makes them allocation-free but also makes two concurrent probes of the
+// same relation race on that buffer even though neither mutates the stored
+// data. The *Scratch variants below move the buffer to the caller: any
+// number of goroutines may probe the same relation simultaneously, each
+// with its own Scratch, as long as nothing mutates the relation
+// concurrently.
+//
+// A Scratch must not be shared between goroutines. The zero value is ready
+// to use; its buffer grows to the largest key probed and is reused.
+type Scratch struct {
+	key []byte
+}
+
+// MultScratch is Relation.Mult using caller-owned key scratch: safe for
+// concurrent probes of the same relation (with distinct Scratch values)
+// while the relation is not being mutated. It does not allocate in steady
+// state.
+func (r *Relation) MultScratch(s *Scratch, t tuple.Tuple) int64 {
+	s.key = tuple.AppendKey(s.key[:0], t)
+	if e, ok := r.entries[tuple.Key(s.key)]; ok {
+		return e.Mult
+	}
+	return 0
+}
+
+// FirstMatchScratch is Index.FirstMatch using caller-owned key scratch:
+// safe for concurrent probes of the same index (with distinct Scratch
+// values) while the relation is not being mutated. It does not allocate in
+// steady state.
+func (ix *Index) FirstMatchScratch(s *Scratch, key tuple.Tuple) *IndexNode {
+	s.key = tuple.AppendKey(s.key[:0], key)
+	if b, ok := ix.buckets[tuple.Key(s.key)]; ok {
+		return b.head
+	}
+	return nil
+}
+
+// CountScratch is Index.Count using caller-owned key scratch; see
+// FirstMatchScratch for the concurrency contract.
+func (ix *Index) CountScratch(s *Scratch, key tuple.Tuple) int {
+	s.key = tuple.AppendKey(s.key[:0], key)
+	if b, ok := ix.buckets[tuple.Key(s.key)]; ok {
+		return b.count
+	}
+	return 0
+}

@@ -33,6 +33,22 @@
 // the batch is aggregated into one delta per view-tree leaf, so each tree
 // is walked once per batch instead of once per update, with the same
 // observable result as the equivalent sequence of Apply calls.
+//
+// # Parallel batches
+//
+// A batch's per-tree propagations are independent, and Options.Workers lets
+// ApplyBatch spread them over a bounded pool of worker goroutines: 0 (the
+// default) sizes the pool from GOMAXPROCS, 1 forces the sequential path,
+// and larger values are honored as given. Each worker owns its scratch
+// state (binding slots, delta pools, key-encoding buffers), so steady-state
+// propagation stays allocation-free per worker, and parallel sections only
+// ever write views of distinct trees while reading a frozen snapshot of
+// the relations shared across trees. The final engine state is identical to
+// the sequential batch result for every worker count; only the wall-clock
+// interleaving differs. Engines are still single-writer: ApplyBatch
+// parallelizes internally, but callers must not invoke engine methods
+// concurrently. Call Close to release the pool when discarding an engine
+// early; a garbage-collected engine releases it automatically.
 package ivmeps
 
 import (
@@ -124,6 +140,13 @@ type Options struct {
 	// Static builds a static-evaluation engine: fewer auxiliary views, but
 	// Insert/Delete/Apply after Build are rejected.
 	Static bool
+	// Workers bounds the worker goroutines ApplyBatch uses to propagate a
+	// batch across independent view trees: 0 picks a GOMAXPROCS-bounded
+	// automatic count, 1 forces sequential propagation, and N > 1 uses up
+	// to N workers (capped by the number of view trees). The result is
+	// identical at every setting; see the package documentation for the
+	// worker model.
+	Workers int
 }
 
 // Engine maintains a hierarchical query under single-tuple updates and
@@ -143,7 +166,7 @@ func New(q *Query, opts Options) (*Engine, error) {
 	if opts.Static {
 		mode = viewtree.Static
 	}
-	e, err := core.New(q.q, core.Options{Mode: mode, Epsilon: opts.Epsilon})
+	e, err := core.New(q.q, core.Options{Mode: mode, Epsilon: opts.Epsilon, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -238,6 +261,13 @@ func (e *Engine) ApplyBatch(rel string, rows [][]int64, mults []int64) error {
 	}
 	return e.e.ApplyBatch(rel, ts, mults)
 }
+
+// Close releases the engine's batch worker goroutines, if any were started
+// (Options.Workers != 1 and a parallel ApplyBatch ran). It is optional —
+// a garbage-collected engine releases them automatically — but calling it
+// promptly bounds goroutine count when engines are created in a loop. The
+// engine remains usable after Close.
+func (e *Engine) Close() { e.e.Close() }
 
 // Enumerate yields every distinct result tuple (over the query's free
 // variables, in head order) with its multiplicity, with O(N^(1−ε)) delay.
