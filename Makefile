@@ -28,11 +28,11 @@ bench:
 	@echo wrote BENCH_update.json
 
 # Re-run the benchmark set and diff against the committed baseline without
-# touching it. Fails on an allocs/op regression (beyond benchdiff's 1%
-# jitter allowance; zero-alloc baselines fail on any allocation) or a >30%
-# ns/op regression (override with BENCH_TOL=0.5 etc.). ns/op is machine-
-# dependent: compare on the machine that produced the baseline, or raise
-# the tolerance.
+# touching it. Fails on any allocs/op increase (strict equality — the
+# update and batch paths are pinned allocation-free or to deterministic
+# counts) or a >30% ns/op regression (override with BENCH_TOL=0.5 etc.).
+# ns/op is machine-dependent: compare on the machine that produced the
+# baseline, or raise the tolerance.
 # Default sized for a virtualized/shared box (observed single-run noise up
 # to ±40%); tighten on quiet bare metal.
 BENCH_TOL = 0.50

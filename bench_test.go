@@ -578,8 +578,11 @@ func BenchmarkParallelBatch(b *testing.B) {
 			// Warm up outside the timer: spawn the pool, size the per-worker
 			// scratch, and grow the aggregation maps to steady state, so
 			// allocs/op reflects the steady state rather than b.N-dependent
-			// amortization of the first batch.
-			for i := 0; i < 2; i++ {
+			// amortization of the first batch. Several passes, because group
+			// claiming is nondeterministic: each helper must have drained
+			// every tree at least once for its delta pool to reach full
+			// size.
+			for i := 0; i < 8; i++ {
 				if err := e.ApplyBatch("T", rows, mults); err != nil {
 					b.Fatal(err)
 				}

@@ -1,12 +1,14 @@
 // Command benchdiff gates performance regressions: it compares a fresh
 // bench2json report against the committed baseline and exits non-zero when
 // a benchmark regressed. Time (ns/op) is allowed a generous fractional
-// tolerance; allocations (allocs/op) get a far stricter one (default 1%,
-// to absorb warm-up amortization jitter in the six-figure macro counts) —
-// the repository's hot paths are engineered to be allocation-free, an
-// alloc creeping into one is the regression class this gate exists to
-// catch, and a zero-alloc baseline fails on any allocation at every
-// tolerance.
+// tolerance; allocations (allocs/op) are compared with strict equality by
+// default — the repository's hot paths (steady-state updates, batch
+// propagation, cold-insert amortization via the slab arenas) are pinned
+// allocation-free or to small deterministic counts, an alloc creeping into
+// one is the regression class this gate exists to catch, and there are no
+// longer per-batch map rebuilds to jitter the macro counts. Raise
+// -alloc-tol only if a future macro benchmark gains a legitimately
+// nondeterministic allocation profile.
 //
 // Typical use (what `make bench-check` runs):
 //
@@ -45,7 +47,7 @@ func main() {
 		basePath     = flag.String("baseline", "BENCH_update.json", "committed baseline report")
 		newPath      = flag.String("new", "", "fresh bench2json report to compare (required)")
 		tol          = flag.Float64("tol", 0.30, "allowed fractional ns/op regression")
-		allocTol     = flag.Float64("alloc-tol", 0.01, "allowed fractional allocs/op increase (zero-alloc baselines still fail on any allocation)")
+		allocTol     = flag.Float64("alloc-tol", 0, "allowed fractional allocs/op increase (default strict: any increase fails)")
 		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the fresh run")
 	)
 	flag.Parse()

@@ -5,23 +5,21 @@ import "fmt"
 // Benchmark regression gate: compare a fresh bench2json report against a
 // committed baseline (BENCH_update.json). Time is compared with a generous
 // fractional tolerance, since ns/op is machine- and load-dependent;
-// allocations are compared near-exactly — an allocation creeping into a
-// zero-alloc hot path is precisely the regression class the gate exists to
-// catch, and a zero or single-digit allocs/op baseline fails on any
-// increase at every sane AllocTolerance.
+// allocations are compared with strict equality by default — an allocation
+// creeping into a zero-alloc hot path is precisely the regression class the
+// gate exists to catch, and with the tuple-native storage the update and
+// batch benchmarks have small deterministic allocation counts.
 
 // DiffOptions tunes CompareReports.
 type DiffOptions struct {
 	// NsTolerance is the allowed fractional ns/op regression before a
 	// benchmark fails: 0.30 passes anything up to 30% slower than baseline.
 	NsTolerance float64
-	// AllocTolerance is the allowed fractional allocs/op increase. It
-	// exists for macro benchmarks with six-figure alloc counts, where
-	// warm-up amortization over a handful of iterations jitters the count
-	// by a fraction of a percent; a zero-alloc baseline still fails on any
-	// allocation at every tolerance (0 × anything = 0), and low-alloc
-	// baselines fail on +1. Keep it well under 1 / (smallest pinned
-	// baseline count) if in doubt; 0 restores the fully strict gate.
+	// AllocTolerance is the allowed fractional allocs/op increase. 0 (the
+	// default everywhere) is the fully strict gate: any increase fails.
+	// A non-zero value exists only for macro benchmarks with a legitimately
+	// nondeterministic allocation profile; keep it well under
+	// 1 / (smallest pinned baseline count).
 	AllocTolerance float64
 	// AllowMissing suppresses failures for baseline benchmarks absent from
 	// the fresh run (e.g. when diffing a partial run).

@@ -71,16 +71,13 @@ func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error
 
 	// Validate the whole batch in order against the first occurrence,
 	// tracking the running multiplicity of each distinct tuple, and
-	// aggregate the net delta per tuple in first-seen order.
-	type group struct {
-		t      tuple.Tuple
-		net    int64
-		stored int64
-	}
-	groups := make([]group, 0, len(rows))
-	byKey := make(map[tuple.Key]int, len(rows))
+	// aggregate the net delta per tuple in first-seen order. The grouping
+	// map and group list are pooled on the engine (keys reference the
+	// caller's rows for the duration of the call), so repeated batches
+	// validate without allocating.
+	e.batchVal.Reset()
+	groups := e.batchGroups[:0]
 	applied := 0
-	var kb []byte // reusable key buffer: allocate a key string only per distinct tuple
 	for i, row := range rows {
 		m := int64(1)
 		if mults != nil {
@@ -90,18 +87,22 @@ func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error
 			continue
 		}
 		if len(row) != arity {
+			e.releaseBatchVal(groups)
 			return fmt.Errorf("core: relation %s: tuple %v does not match schema %v", rel, row, first.Schema())
 		}
-		kb = tuple.AppendKey(kb[:0], row)
-		gi, seen := byKey[tuple.Key(kb)]
+		gi, h, seen := e.batchVal.GetHash(row)
 		if !seen {
 			gi = len(groups)
-			groups = append(groups, group{t: row, stored: first.Mult(row)})
-			byKey[tuple.Key(kb)] = gi
+			groups = append(groups, batchGroup{t: row, stored: first.Mult(row)})
+			e.batchVal.PutHashed(h, row, gi)
 		}
 		g := &groups[gi]
 		if g.stored+g.net+m < 0 {
-			return &relation.ErrNegative{Relation: rel, Tuple: row.Clone(), Have: g.stored + g.net, Delta: m}
+			// Capture the available multiplicity before releaseBatchVal
+			// zeroes the pooled group g points into.
+			have := g.stored + g.net
+			e.releaseBatchVal(groups)
+			return &relation.ErrNegative{Relation: rel, Tuple: row.Clone(), Have: have, Delta: m}
 		}
 		g.net += m
 		applied++
@@ -114,6 +115,7 @@ func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error
 			d.appendRow(groups[i].t, groups[i].net)
 		}
 	}
+	e.releaseBatchVal(groups)
 	if len(d.rows) > 0 {
 		// Footnote 2: an update to a repeated relation symbol is a sequence
 		// of updates to each occurrence.
@@ -127,12 +129,44 @@ func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error
 	return nil
 }
 
-// batchKey is the per-distinct-partition-key state of one batch.
+// batchGroup is the per-distinct-tuple validation state of one batch.
+type batchGroup struct {
+	t      tuple.Tuple
+	net    int64
+	stored int64
+}
+
+// releaseBatchVal returns the validation scratch to the engine's pool with
+// every reference into the caller's rows dropped (on success and on every
+// validation error alike), so a failed batch does not stay pinned by the
+// pooled map and group list.
+func (e *Engine) releaseBatchVal(groups []batchGroup) {
+	clear(groups)
+	e.batchGroups = groups[:0]
+	e.batchVal.Reset()
+}
+
+// batchKey is the per-distinct-partition-key state of one batch. The key
+// tuple points into the engine's pooled key arena (batchKeyBuf) and is
+// valid for the duration of one applyBatchOcc pass.
 type batchKey struct {
 	key      tuple.Tuple
 	preDeg   int  // full degree before the batch
 	preLight bool // key was in the light part's domain before the batch
 	rows     []int
+}
+
+// appendBatchKey appends a batchKey to keys, reusing the rows buffer of a
+// previously pooled slot when the slice grows within capacity.
+func appendBatchKey(keys []batchKey, key tuple.Tuple, preDeg int, preLight bool) []batchKey {
+	if len(keys) < cap(keys) {
+		keys = keys[:len(keys)+1]
+		bk := &keys[len(keys)-1]
+		bk.key, bk.preDeg, bk.preLight = key, preDeg, preLight
+		bk.rows = bk.rows[:0]
+		return keys
+	}
+	return append(keys, batchKey{key: key, preDeg: preDeg, preLight: preLight})
 }
 
 // applyBatchOcc applies the aggregated batch delta d to one occurrence
@@ -144,23 +178,27 @@ func (e *Engine) applyBatchOcc(rt *relRoutes, d *delta) {
 
 	// Capture the pre-update partition state per distinct key (Figure 19
 	// line 10 needs the pre-update degrees to route to the light parts).
-	perPart := make([][]batchKey, len(rt.parts))
-	var kb []byte
+	// The grouping table, the batchKey lists, and the arena holding the
+	// distinct keys are pooled on the engine — reset, not reallocated — so
+	// this pass allocates only when a batch grows past every previous one.
+	for len(e.perPart) < len(rt.parts) {
+		e.perPart = append(e.perPart, nil)
+	}
+	perPart := e.perPart[:len(rt.parts)]
+	e.batchKeyBuf = e.batchKeyBuf[:0]
 	for pi, pr := range rt.parts {
-		keys := perPart[pi]
-		byKey := map[tuple.Key]int{}
+		keys := perPart[pi][:0]
+		e.groupMap.Reset()
 		for ri := range d.rows {
 			pr.keyScratch = pr.p.AppendKeyOf(pr.keyScratch[:0], d.rows[ri].t)
-			kb = tuple.AppendKey(kb[:0], pr.keyScratch)
-			ki, ok := byKey[tuple.Key(kb)]
+			ki, h, ok := e.groupMap.GetHash(pr.keyScratch)
 			if !ok {
 				ki = len(keys)
-				keys = append(keys, batchKey{
-					key:      pr.keyScratch.Clone(),
-					preDeg:   pr.p.Degree(pr.keyScratch),
-					preLight: pr.p.IsLight(pr.keyScratch),
-				})
-				byKey[tuple.Key(kb)] = ki
+				start := len(e.batchKeyBuf)
+				e.batchKeyBuf = append(e.batchKeyBuf, pr.keyScratch...)
+				key := e.batchKeyBuf[start:len(e.batchKeyBuf):len(e.batchKeyBuf)]
+				keys = appendBatchKey(keys, key, pr.p.Degree(key), pr.p.IsLight(key))
+				e.groupMap.PutHashed(h, key, ki)
 			}
 			keys[ki].rows = append(keys[ki].rows, ri)
 		}
@@ -280,17 +318,18 @@ func (e *Engine) applyBatchOcc(rt *relRoutes, d *delta) {
 }
 
 // refreshBatchH refreshes ∃H once per distinct indicator key appearing in
-// the batch delta and propagates the resulting δ(∃H) changes.
+// the batch delta and propagates the resulting δ(∃H) changes. The
+// distinct-key set is a pooled map; keys are copied into its arena because
+// the projection scratch is overwritten per row.
 func (e *Engine) refreshBatchH(ir *indRoute, d *delta) {
-	seen := map[tuple.Key]bool{}
-	var kb []byte
+	e.seenKeys.Reset()
 	for i := range d.rows {
-		kb = ir.keyProj.AppendKey(kb[:0], d.rows[i].t)
-		if seen[tuple.Key(kb)] {
+		ir.keyScratch = ir.keyProj.AppendTo(ir.keyScratch[:0], d.rows[i].t)
+		_, h, ok := e.seenKeys.GetHash(ir.keyScratch)
+		if ok {
 			continue
 		}
-		seen[tuple.Key(kb)] = true
-		ir.keyScratch = ir.keyProj.AppendTo(ir.keyScratch[:0], d.rows[i].t)
+		e.seenKeys.PutCopyHashed(h, ir.keyScratch, 0)
 		if dh := e.refreshH(ir.s, ir.keyScratch); dh != 0 {
 			e.propagateIndicator(ir.s, ir.keyScratch, dh)
 		}

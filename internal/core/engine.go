@@ -93,6 +93,19 @@ type Engine struct {
 	pool     *workerPool
 	cleanup  runtime.Cleanup
 
+	// Pooled ApplyBatch scratch (batch.go): the all-or-nothing validation
+	// map and group list, the per-partition key-grouping table and batchKey
+	// lists, the refreshBatchH distinct-key set, and the arena backing the
+	// distinct partition keys of one occurrence pass. All are reset
+	// (capacity kept) rather than reallocated, so repeated batches on one
+	// engine allocate only for genuinely new entries.
+	batchVal    tuple.IntMap
+	batchGroups []batchGroup
+	groupMap    tuple.IntMap
+	seenKeys    tuple.IntMap
+	batchKeyBuf tuple.Tuple
+	perPart     [][]batchKey
+
 	// treeID densely numbers every view tree (main, All, L) of the forest;
 	// jobGroups queues the propagation jobs of one batch phase, one group
 	// per view tree (the unit of parallelism); activeGroups lists the

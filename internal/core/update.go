@@ -16,16 +16,20 @@ import (
 // is precomputed at Build time (routes.go); the code here only executes
 // those routes, and the single-tuple steady state runs without heap
 // allocation: deltas are pooled, their rows live in reused backing buffers,
-// and every relation probe goes through reusable key buffers.
+// and every relation probe hashes the unencoded tuple directly against the
+// relation's open-addressing table.
 
 // delta is a small relation of weighted tuples. Rows aggregate by tuple:
 // add coalesces equal tuples, by linear scan while the delta is small and
-// through a lazily built key index once it grows.
+// through a lazily built tuple-keyed index once it grows. The index is a
+// pooled open-addressing map that survives reset (cleared, not dropped), so
+// repeated >16-row propagation steps through one delta pool stop
+// reallocating it.
 type delta struct {
-	rows   []weighted
-	buf    tuple.Tuple       // backing storage for row tuples
-	idx    map[tuple.Key]int // row index by encoded tuple, once rows are many
-	keyBuf []byte
+	rows    []weighted
+	buf     tuple.Tuple  // backing storage for row tuples
+	idx     tuple.IntMap // row index by tuple, once rows are many
+	indexed bool         // idx currently holds the rows
 }
 
 type weighted struct {
@@ -39,7 +43,10 @@ const deltaLinearMax = 16
 func (d *delta) reset() {
 	d.rows = d.rows[:0]
 	d.buf = d.buf[:0]
-	d.idx = nil
+	if d.indexed {
+		d.idx.Reset()
+		d.indexed = false
+	}
 }
 
 // appendRow appends {t → m} without checking for an existing equal tuple.
@@ -53,7 +60,7 @@ func (d *delta) appendRow(t tuple.Tuple, m int64) int {
 
 // add accumulates {t → m} into the delta, aggregating rows by tuple.
 func (d *delta) add(t tuple.Tuple, m int64) {
-	if d.idx == nil {
+	if !d.indexed {
 		if len(d.rows) <= deltaLinearMax {
 			for i := range d.rows {
 				if d.rows[i].t.Equal(t) {
@@ -64,17 +71,18 @@ func (d *delta) add(t tuple.Tuple, m int64) {
 			d.appendRow(t, m)
 			return
 		}
-		d.idx = make(map[tuple.Key]int, 2*len(d.rows))
 		for i := range d.rows {
-			d.idx[tuple.EncodeKey(d.rows[i].t)] = i
+			d.idx.Put(d.rows[i].t, i)
 		}
+		d.indexed = true
 	}
-	d.keyBuf = tuple.AppendKey(d.keyBuf[:0], t)
-	if i, ok := d.idx[tuple.Key(d.keyBuf)]; ok {
+	i, h, ok := d.idx.GetHash(t)
+	if ok {
 		d.rows[i].m += m
 		return
 	}
-	d.idx[tuple.Key(d.keyBuf)] = d.appendRow(t, m)
+	i = d.appendRow(t, m)
+	d.idx.PutHashed(h, d.rows[i].t, i)
 }
 
 // Update applies a single-tuple update δR = {t → m} to relation rel:
@@ -265,8 +273,8 @@ func (e *Engine) propagateIndicator(s *indShared, key tuple.Tuple, dh int64) {
 //
 // Concurrency: the only relations written are the views on the path, which
 // belong to the leaf's tree; sibling probes may touch relations shared
-// across trees (base relations, light parts, ∃H) but only read them,
-// through the worker's own key scratch. Concurrent propagation is
+// across trees (base relations, light parts, ∃H) but only read them —
+// probes are stateless hash-table lookups. Concurrent propagation is
 // therefore safe exactly when (a) no two concurrent paths share a tree and
 // (b) nothing mutates the shared leaf relations during the phase — the
 // invariants runJobs maintains.
@@ -390,8 +398,8 @@ func (e *Engine) updatePlan(n *viewtree.Node, child *viewtree.Node) *updPlan {
 
 // run evaluates δV = δchild ⋈ siblings over the plan, accumulating the
 // (possibly signed) output rows into out, aggregated by tuple. The bindings
-// live in the worker's ubind scratch, and sibling probes go through the
-// worker's relation scratch, so plans over shared sibling relations can run
+// live in the worker's ubind scratch, and sibling probes are read-only
+// hash-table lookups, so plans over shared sibling relations can run
 // concurrently from different workers. The plan's own keyScratch/outScratch
 // buffers need no per-worker copy: a plan belongs to one tree edge, and one
 // tree is always drained by a single worker.
@@ -423,7 +431,7 @@ func (p *updPlan) rec(ws *workerState, scratch []tuple.Value, i int, mult int64,
 		key[k] = scratch[s]
 	}
 	if st.full {
-		if m := st.rel.MultScratch(&ws.rs, key); m != 0 {
+		if m := st.rel.Mult(key); m != 0 {
 			p.rec(ws, scratch, i+1, mult*m, out)
 		}
 		return
@@ -437,7 +445,7 @@ func (p *updPlan) rec(ws *workerState, scratch []tuple.Value, i int, mult int64,
 		}
 		return
 	}
-	for n := st.index.FirstMatchScratch(&ws.rs, key); n != nil; n = n.Next() {
+	for n := st.index.FirstMatch(key); n != nil; n = n.Next() {
 		en := n.Entry()
 		for k, pos := range st.freshPos {
 			scratch[st.freshSlot[k]] = en.Tuple[pos]

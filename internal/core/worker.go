@@ -5,7 +5,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"ivmeps/internal/relation"
 	"ivmeps/internal/tuple"
 )
 
@@ -16,8 +15,11 @@ import (
 // mutates), so they can run on a bounded worker pool.
 //
 // All mutable scratch of the propagation hot path lives in a workerState:
-// the ubind binding slots of the update plans, the delta pool, and the
-// key-encoding buffer used to probe shared relations (relation.Scratch).
+// the ubind binding slots of the update plans and the delta pool. Probes of
+// the shared relations (relation.Mult, Index.FirstMatch/Count) are
+// read-only — they hash the unencoded key tuple against the relation's
+// open-addressing table without touching any shared buffer — so any number
+// of workers may probe the same relation while a phase mutates nothing.
 // Every worker — including the engine's own goroutine, which owns ws0 and
 // participates in every phase — propagates its assigned trees without
 // heap allocation in steady state and without touching another worker's
@@ -41,7 +43,6 @@ import (
 type workerState struct {
 	ubind     []tuple.Value // binding slots for update plans
 	deltaPool []*delta
-	rs        relation.Scratch // key scratch for shared-relation probes
 
 	// d1 is the reusable single-row delta of the single-tuple update path
 	// (used only via the engine's ws0).

@@ -12,31 +12,42 @@ import (
 // σ_{S=t}R, constant-time membership in π_S R, constant-time |σ_{S=t}R|,
 // and constant-time maintenance.
 //
-// Probes taking a key Tuple encode it into a reusable internal buffer and
-// are allocation-free; removed nodes and emptied buckets are pooled, so
-// index maintenance allocates only when a previously unseen key value
-// appears.
+// Buckets live in an open-addressing table keyed on the unencoded projected
+// key tuple (seeded independently of the entry table); probes hash the key
+// and never build an encoded form. The probe methods are read-only and safe
+// for concurrent use while the relation is not being mutated. Removed nodes
+// and emptied buckets are pooled, and fresh nodes, buckets, and bucket key
+// tuples come from slab arenas, so index maintenance costs amortized ~0
+// allocations even when previously unseen key values appear.
 type Index struct {
 	rel       *Relation
 	keySchema tuple.Schema
 	proj      tuple.Projection
-	buckets   map[tuple.Key]*bucket
+	seed      uint64 // per-table hash seed
+	tab       oaTable[*bucket]
 	slot      int // position of this index in rel.indexes and Entry.nodes
 
-	keyT     tuple.Tuple // reusable projected-key buffer
-	keyBuf   []byte      // reusable key-encoding buffer
+	keyT     tuple.Tuple // reusable projected-key buffer (mutating ops only)
 	freeNode *IndexNode  // freelist of removed nodes, linked via next
 	freeBuck *bucket     // freelist of emptied buckets, linked via freeNext
+
+	slabN []IndexNode   // arena of unused nodes
+	slabB []bucket      // arena of unused buckets
+	slabV []tuple.Value // arena backing fresh bucket key tuples
 }
 
 // bucket holds the doubly-linked list of index nodes for one key value.
 type bucket struct {
 	key      tuple.Tuple
+	hash     uint64 // cached tuple.Hash of key under the index's seed
 	head     *IndexNode
 	tail     *IndexNode
 	count    int
 	freeNext *bucket
 }
+
+// keyTuple keys the bucket table on the projected key tuple.
+func (b *bucket) keyTuple() tuple.Tuple { return b.key }
 
 // IndexNode links one entry into one bucket.
 type IndexNode struct {
@@ -48,7 +59,7 @@ type IndexNode struct {
 // EnsureIndex returns the relation's index on keySchema, creating it (and
 // populating it from the current contents) if needed. keySchema must be a
 // subset of the relation's schema; comparison is order-sensitive only for
-// the key encoding, so callers should pass a canonical order.
+// the key hashing, so callers should pass a canonical order.
 func (r *Relation) EnsureIndex(keySchema tuple.Schema) *Index {
 	for _, ix := range r.indexes {
 		if ix.keySchema.Equal(keySchema) {
@@ -62,7 +73,7 @@ func (r *Relation) EnsureIndex(keySchema tuple.Schema) *Index {
 		rel:       r,
 		keySchema: keySchema.Clone(),
 		proj:      tuple.MustProjection(r.schema, keySchema),
-		buckets:   make(map[tuple.Key]*bucket),
+		seed:      tuple.NewSeed(),
 		slot:      len(r.indexes),
 	}
 	r.indexes = append(r.indexes, ix)
@@ -87,11 +98,11 @@ func (ix *Index) KeySchema() tuple.Schema { return ix.keySchema }
 
 func (ix *Index) insert(e *Entry) {
 	ix.keyT = ix.proj.AppendTo(ix.keyT[:0], e.Tuple)
-	ix.keyBuf = tuple.AppendKey(ix.keyBuf[:0], ix.keyT)
-	b, ok := ix.buckets[tuple.Key(ix.keyBuf)]
-	if !ok {
-		b = ix.newBucket(ix.keyT)
-		ix.buckets[tuple.Key(ix.keyBuf)] = b
+	h := tuple.Hash(ix.seed, ix.keyT)
+	b := ix.tab.get(h, ix.keyT)
+	if b == nil {
+		b = ix.newBucket(ix.keyT, h)
+		ix.tab.put(h, b)
 	}
 	n := ix.newNode(e, b)
 	n.prev = b.tail
@@ -102,6 +113,13 @@ func (ix *Index) insert(e *Entry) {
 	}
 	b.tail = n
 	b.count++
+	if cap(e.nodes) <= ix.slot {
+		// Move the back-pointer slots to an arena chunk sized for every
+		// current index of the relation.
+		fresh := ix.rel.slabNodes(len(ix.rel.indexes))
+		copy(fresh, e.nodes)
+		e.nodes = fresh[:len(e.nodes)]
+	}
 	for len(e.nodes) <= ix.slot {
 		e.nodes = append(e.nodes, nil)
 	}
@@ -109,25 +127,54 @@ func (ix *Index) insert(e *Entry) {
 }
 
 // newBucket takes a bucket from the freelist (reusing its key buffer) or
-// allocates a fresh one; key is copied.
-func (ix *Index) newBucket(key tuple.Tuple) *bucket {
-	if b := ix.freeBuck; b != nil {
+// carves one out of the slab arenas; key is copied.
+func (ix *Index) newBucket(key tuple.Tuple, h uint64) *bucket {
+	b := ix.freeBuck
+	if b != nil {
 		ix.freeBuck = b.freeNext
 		b.freeNext = nil
 		b.key = append(b.key[:0], key...)
-		return b
+	} else {
+		if len(ix.slabB) == 0 {
+			ix.slabB = make([]bucket, entrySlab)
+		}
+		b = &ix.slabB[0]
+		ix.slabB = ix.slabB[1:]
+		b.key = ix.slabKey(key)
 	}
-	return &bucket{key: key.Clone()}
+	b.hash = h
+	return b
 }
 
-// newNode takes a node from the freelist or allocates a fresh one.
+// slabKey copies key into a chunk of the index's value arena.
+func (ix *Index) slabKey(key tuple.Tuple) tuple.Tuple {
+	n := len(key)
+	if n == 0 {
+		return nil
+	}
+	if len(ix.slabV) < n {
+		ix.slabV = make([]tuple.Value, n*entrySlab)
+	}
+	out := ix.slabV[:n:n]
+	ix.slabV = ix.slabV[n:]
+	copy(out, key)
+	return out
+}
+
+// newNode takes a node from the freelist or carves one out of the arena.
 func (ix *Index) newNode(e *Entry, b *bucket) *IndexNode {
 	if n := ix.freeNode; n != nil {
 		ix.freeNode = n.next
 		n.entry, n.b, n.prev, n.next = e, b, nil, nil
 		return n
 	}
-	return &IndexNode{entry: e, b: b}
+	if len(ix.slabN) == 0 {
+		ix.slabN = make([]IndexNode, entrySlab)
+	}
+	n := &ix.slabN[0]
+	ix.slabN = ix.slabN[1:]
+	n.entry, n.b = e, b
+	return n
 }
 
 func (ix *Index) remove(e *Entry) {
@@ -148,8 +195,7 @@ func (ix *Index) remove(e *Entry) {
 	}
 	b.count--
 	if b.count == 0 {
-		ix.keyBuf = tuple.AppendKey(ix.keyBuf[:0], b.key)
-		delete(ix.buckets, tuple.Key(ix.keyBuf))
+		ix.tab.del(b.hash, b)
 		b.freeNext = ix.freeBuck
 		ix.freeBuck = b
 	}
@@ -161,16 +207,7 @@ func (ix *Index) remove(e *Entry) {
 
 // Count returns |σ_{S=key}R| in O(1), without allocating.
 func (ix *Index) Count(key tuple.Tuple) int {
-	ix.keyBuf = tuple.AppendKey(ix.keyBuf[:0], key)
-	if b, ok := ix.buckets[tuple.Key(ix.keyBuf)]; ok {
-		return b.count
-	}
-	return 0
-}
-
-// CountKey is Count with a pre-encoded key.
-func (ix *Index) CountKey(k tuple.Key) int {
-	if b, ok := ix.buckets[k]; ok {
+	if b := ix.tab.get(tuple.Hash(ix.seed, key), key); b != nil {
 		return b.count
 	}
 	return 0
@@ -180,14 +217,13 @@ func (ix *Index) CountKey(k tuple.Key) int {
 func (ix *Index) Has(key tuple.Tuple) bool { return ix.Count(key) > 0 }
 
 // DistinctKeys returns |π_S R| in O(1).
-func (ix *Index) DistinctKeys() int { return len(ix.buckets) }
+func (ix *Index) DistinctKeys() int { return ix.tab.len() }
 
 // ForEachMatch calls fn on every entry of σ_{S=key}R with constant delay.
 // fn must not mutate the relation.
 func (ix *Index) ForEachMatch(key tuple.Tuple, fn func(t tuple.Tuple, m int64)) {
-	ix.keyBuf = tuple.AppendKey(ix.keyBuf[:0], key)
-	b, ok := ix.buckets[tuple.Key(ix.keyBuf)]
-	if !ok {
+	b := ix.tab.get(tuple.Hash(ix.seed, key), key)
+	if b == nil {
 		return
 	}
 	for n := b.head; n != nil; n = n.next {
@@ -209,16 +245,7 @@ func (ix *Index) Matches(key tuple.Tuple) []Entry {
 // they give the constant-delay cursor used by the enumeration iterators.
 // It does not allocate.
 func (ix *Index) FirstMatch(key tuple.Tuple) *IndexNode {
-	ix.keyBuf = tuple.AppendKey(ix.keyBuf[:0], key)
-	if b, ok := ix.buckets[tuple.Key(ix.keyBuf)]; ok {
-		return b.head
-	}
-	return nil
-}
-
-// FirstMatchKey is FirstMatch with a pre-encoded key.
-func (ix *Index) FirstMatchKey(k tuple.Key) *IndexNode {
-	if b, ok := ix.buckets[k]; ok {
+	if b := ix.tab.get(tuple.Hash(ix.seed, key), key); b != nil {
 		return b.head
 	}
 	return nil
@@ -233,7 +260,7 @@ func (n *IndexNode) Entry() *Entry { return n.entry }
 // ForEachKey calls fn on one representative (key, bucket-count) per
 // distinct key value, in unspecified order.
 func (ix *Index) ForEachKey(fn func(key tuple.Tuple, count int)) {
-	for _, b := range ix.buckets {
+	ix.tab.forEach(func(b *bucket) {
 		fn(b.key, b.count)
-	}
+	})
 }

@@ -14,10 +14,33 @@
 //  6. constant-time |σ_{S=t}R|,
 //  7. constant-time index insert and delete.
 //
-// The implementation is exactly the one sketched in the paper: a hash table
-// whose entries are doubly linked for enumeration, plus per-index hash
-// tables of doubly-linked pointer lists with back-pointers stored on each
-// entry so that deletion is constant time per index.
+// # Storage
+//
+// Entries are stored in an open-addressing hash table (table.go) keyed
+// directly on the unencoded tuple: a probe hashes the tuple's values
+// (tuple.Hash, seeded per table) and compares candidates value by value, so
+// no per-probe key encoding is ever built and no map-key string is ever
+// retained. Deletion backward-shifts the probe cluster instead of leaving
+// tombstones. Entries are doubly linked for constant-delay enumeration, and
+// each secondary index is a hash table — keyed the same way on the
+// projected key tuple — of doubly-linked pointer lists with back-pointers
+// stored on each entry, exactly the structure sketched in the paper.
+//
+// # Allocation
+//
+// Probes and multiplicity changes of existing entries are allocation-free.
+// Cold inserts draw Entry structs, their tuple backing arrays, and their
+// index back-pointer slots from slab arenas (batch-allocated blocks of
+// entrySlab items), so a cold insert costs amortized ~0 allocations;
+// removed entries, index nodes, and emptied buckets go to freelists and are
+// reused before the arenas grow. Clear recycles everything and keeps the
+// hash tables' slot arrays, so a refill after Clear (major rebalancing)
+// allocates nothing.
+//
+// Relations are not safe for concurrent mutation, but the probe methods
+// (Mult, Contains, index Count/Has/FirstMatch/ForEachMatch) are read-only
+// and may run concurrently from any number of goroutines while the relation
+// is not being mutated.
 package relation
 
 import (
@@ -32,30 +55,38 @@ type Entry struct {
 	Tuple tuple.Tuple
 	Mult  int64
 
+	hash       uint64 // cached tuple.Hash under the relation's seed
 	prev, next *Entry
 	// nodes[i] is this entry's node in the relation's i-th index
 	// (the back-pointers of the paper's deletion scheme).
 	nodes []*IndexNode
 }
 
+// keyTuple keys the entry table on the stored tuple.
+func (e *Entry) keyTuple() tuple.Tuple { return e.Tuple }
+
+// entrySlab is the block size of the slab arenas: entries, tuple backing
+// values, and node back-pointer slots are allocated entrySlab items at a
+// time, amortizing cold-insert allocation to ~0 per entry.
+const entrySlab = 64
+
 // Relation is a multiset relation over a fixed schema, storing tuples with
 // strictly positive multiplicities. The zero multiplicity is represented by
-// absence.
-//
-// The lookup and update methods taking a Tuple encode the key into a
-// reusable internal buffer, so steady-state probes and multiplicity changes
-// of existing entries are allocation-free. Relations are not safe for
-// concurrent use.
+// absence. See the package comment for the storage layout.
 type Relation struct {
 	name    string
 	schema  tuple.Schema
-	entries map[tuple.Key]*Entry
+	seed    uint64 // per-table hash seed
+	tab     oaTable[*Entry]
 	head    *Entry // insertion-ordered doubly-linked list
 	tail    *Entry
 	indexes []*Index
 	total   int64  // sum of multiplicities (for diagnostics)
-	keyBuf  []byte // reusable key-encoding buffer for probes and updates
 	free    *Entry // freelist of removed entries, linked via next
+
+	slabE []Entry       // arena of unused Entry structs
+	slabV []tuple.Value // arena backing fresh entry tuples
+	slabN []*IndexNode  // arena backing fresh entry node slots
 }
 
 // New creates an empty relation with the given name and schema.
@@ -64,9 +95,9 @@ func New(name string, schema tuple.Schema) *Relation {
 		panic(err)
 	}
 	return &Relation{
-		name:    name,
-		schema:  schema.Clone(),
-		entries: make(map[tuple.Key]*Entry),
+		name:   name,
+		schema: schema.Clone(),
+		seed:   tuple.NewSeed(),
 	}
 }
 
@@ -77,24 +108,29 @@ func (r *Relation) Name() string { return r.name }
 func (r *Relation) Schema() tuple.Schema { return r.schema }
 
 // Size returns |R|, the number of distinct stored tuples, in O(1).
-func (r *Relation) Size() int { return len(r.entries) }
+func (r *Relation) Size() int { return r.tab.len() }
 
 // TotalMultiplicity returns the sum of all multiplicities.
 func (r *Relation) TotalMultiplicity() int64 { return r.total }
 
+// HashOf returns the hash of t under the relation's table seed, for use
+// with the *Hashed probe and update variants.
+func (r *Relation) HashOf(t tuple.Tuple) uint64 { return tuple.Hash(r.seed, t) }
+
 // Mult returns R(t): the multiplicity of t, or 0 if absent. It does not
-// allocate.
+// allocate and is safe to call concurrently while the relation is not being
+// mutated.
 func (r *Relation) Mult(t tuple.Tuple) int64 {
-	r.keyBuf = tuple.AppendKey(r.keyBuf[:0], t)
-	if e, ok := r.entries[tuple.Key(r.keyBuf)]; ok {
+	if e := r.tab.get(tuple.Hash(r.seed, t), t); e != nil {
 		return e.Mult
 	}
 	return 0
 }
 
-// MultKey is Mult keyed by a pre-encoded tuple key.
-func (r *Relation) MultKey(k tuple.Key) int64 {
-	if e, ok := r.entries[k]; ok {
+// MultHashed is Mult with the hash precomputed via HashOf, for embedders
+// that batch probes of one tuple.
+func (r *Relation) MultHashed(h uint64, t tuple.Tuple) int64 {
+	if e := r.tab.get(h, t); e != nil {
 		return e.Mult
 	}
 	return 0
@@ -122,45 +158,49 @@ func (e *ErrNegative) Error() string {
 // if the multiplicity reaches zero. It returns an error (and leaves the
 // relation unchanged) if the result would be negative. m = 0 is a no-op.
 // Multiplicity changes of existing entries do not allocate; removed entries
-// are pooled and reused by later inserts.
+// are pooled and reused by later inserts, and fresh entries come from the
+// slab arenas.
 func (r *Relation) Add(t tuple.Tuple, m int64) error {
 	if m == 0 {
 		return nil
 	}
 	if len(t) != len(r.schema) {
-		return fmt.Errorf("relation %s: tuple %v has arity %d, schema %v has arity %d",
-			r.name, t, len(t), r.schema, len(r.schema))
+		return r.arityError(t)
 	}
-	r.keyBuf = tuple.AppendKey(r.keyBuf[:0], t)
-	return r.addKeyed(t, m)
+	return r.addHashed(t, tuple.Hash(r.seed, t), m)
 }
 
-// AddKey is Add keyed by the pre-encoded key of t (k must equal
-// EncodeKey(t); a mismatched key corrupts the relation). It skips the key
-// encoding, for embedders that batch updates keyed by Key — the engine's
-// own hot paths hold unencoded tuples and use Add's internal buffer.
-func (r *Relation) AddKey(t tuple.Tuple, k tuple.Key, m int64) error {
+// arityError builds the arity-mismatch error away from the Add hot path:
+// formatting t directly there would make the tuple parameter escape and
+// heap-allocate every caller-constructed tuple.
+func (r *Relation) arityError(t tuple.Tuple) error {
+	return fmt.Errorf("relation %s: tuple %v has arity %d, schema %v has arity %d",
+		r.name, t.Clone(), len(t), r.schema, len(r.schema))
+}
+
+// AddHashed is Add with the hash precomputed via HashOf (a hash not equal
+// to HashOf(t) corrupts the relation). It skips the hash computation for
+// embedders that batch updates of one tuple.
+func (r *Relation) AddHashed(t tuple.Tuple, h uint64, m int64) error {
 	if m == 0 {
 		return nil
 	}
 	if len(t) != len(r.schema) {
-		return fmt.Errorf("relation %s: tuple %v has arity %d, schema %v has arity %d",
-			r.name, t, len(t), r.schema, len(r.schema))
+		return r.arityError(t)
 	}
-	r.keyBuf = append(r.keyBuf[:0], k...)
-	return r.addKeyed(t, m)
+	return r.addHashed(t, h, m)
 }
 
-// addKeyed is the shared body of Add and AddKey; the encoded key of t is
-// in r.keyBuf.
-func (r *Relation) addKeyed(t tuple.Tuple, m int64) error {
-	e, ok := r.entries[tuple.Key(r.keyBuf)]
-	if !ok {
+// addHashed is the shared body of Add and AddHashed.
+func (r *Relation) addHashed(t tuple.Tuple, h uint64, m int64) error {
+	e := r.tab.get(h, t)
+	if e == nil {
 		if m < 0 {
 			return &ErrNegative{Relation: r.name, Tuple: t.Clone(), Have: 0, Delta: m}
 		}
 		e = r.newEntry(t, m)
-		r.entries[tuple.Key(r.keyBuf)] = e
+		e.hash = h
+		r.tab.put(h, e)
 		r.linkEntry(e)
 		for _, ix := range r.indexes {
 			ix.insert(e)
@@ -174,7 +214,7 @@ func (r *Relation) addKeyed(t tuple.Tuple, m int64) error {
 	e.Mult += m
 	r.total += m
 	if e.Mult == 0 {
-		delete(r.entries, tuple.Key(r.keyBuf))
+		r.tab.del(e.hash, e)
 		r.unlinkEntry(e)
 		for _, ix := range r.indexes {
 			ix.remove(e)
@@ -186,7 +226,7 @@ func (r *Relation) addKeyed(t tuple.Tuple, m int64) error {
 }
 
 // newEntry takes an entry from the freelist (reusing its tuple buffer and
-// index back-pointer slots) or allocates a fresh one.
+// index back-pointer slots) or carves a fresh one out of the slab arenas.
 func (r *Relation) newEntry(t tuple.Tuple, m int64) *Entry {
 	if e := r.free; e != nil {
 		r.free = e.next
@@ -195,7 +235,39 @@ func (r *Relation) newEntry(t tuple.Tuple, m int64) *Entry {
 		e.Mult = m
 		return e
 	}
-	return &Entry{Tuple: t.Clone(), Mult: m}
+	if len(r.slabE) == 0 {
+		r.slabE = make([]Entry, entrySlab)
+	}
+	e := &r.slabE[0]
+	r.slabE = r.slabE[1:]
+	e.Tuple = r.slabTuple(t)
+	e.Mult = m
+	return e
+}
+
+// slabTuple copies t into a chunk of the relation's value arena.
+func (r *Relation) slabTuple(t tuple.Tuple) tuple.Tuple {
+	n := len(t)
+	if n == 0 {
+		return nil
+	}
+	if len(r.slabV) < n {
+		r.slabV = make([]tuple.Value, n*entrySlab)
+	}
+	out := r.slabV[:n:n]
+	r.slabV = r.slabV[n:]
+	copy(out, t)
+	return out
+}
+
+// slabNodes returns an n-slot node back-pointer chunk from the node arena.
+func (r *Relation) slabNodes(n int) []*IndexNode {
+	if len(r.slabN) < n {
+		r.slabN = make([]*IndexNode, n*entrySlab)
+	}
+	out := r.slabN[:n:n]
+	r.slabN = r.slabN[n:]
+	return out
 }
 
 // MustAdd is Add that panics on error; for code paths where the engine
@@ -206,24 +278,29 @@ func (r *Relation) MustAdd(t tuple.Tuple, m int64) {
 	}
 }
 
-// Set forces the multiplicity of t to m ≥ 0 (0 deletes).
+// Set forces the multiplicity of t to m ≥ 0 (0 deletes). The tuple is
+// hashed once for both the read and the write.
 func (r *Relation) Set(t tuple.Tuple, m int64) {
-	cur := r.Mult(t)
-	r.MustAdd(t, m-cur)
+	h := tuple.Hash(r.seed, t)
+	cur := r.MultHashed(h, t)
+	if err := r.AddHashed(t, h, m-cur); err != nil {
+		panic(err)
+	}
 }
 
 // Clear removes all tuples (and empties all indexes) while keeping the
 // index definitions. Entries, index nodes, and buckets are recycled onto
-// the freelists, so a refill after Clear (e.g. re-materializing a view
-// during major rebalancing) reuses them instead of allocating.
+// the freelists and the hash tables keep their slot arrays, so a refill
+// after Clear (e.g. re-materializing a view during major rebalancing)
+// allocates nothing.
 func (r *Relation) Clear() {
 	for _, ix := range r.indexes {
-		for _, b := range ix.buckets {
+		ix.tab.forEach(func(b *bucket) {
 			b.head, b.tail, b.count = nil, nil, 0
 			b.freeNext = ix.freeBuck
 			ix.freeBuck = b
-		}
-		ix.buckets = make(map[tuple.Key]*bucket)
+		})
+		ix.tab.clear()
 	}
 	var next *Entry
 	for e := r.head; e != nil; e = next {
@@ -241,7 +318,7 @@ func (r *Relation) Clear() {
 		e.next = r.free
 		r.free = e
 	}
-	r.entries = make(map[tuple.Key]*Entry)
+	r.tab.clear()
 	r.head, r.tail = nil, nil
 	r.total = 0
 }
@@ -298,7 +375,7 @@ func (r *Relation) ForEachUntil(fn func(t tuple.Tuple, m int64) bool) {
 // Entries returns a snapshot slice of (tuple, multiplicity) pairs in
 // insertion order; intended for tests and small relations.
 func (r *Relation) Entries() []Entry {
-	out := make([]Entry, 0, len(r.entries))
+	out := make([]Entry, 0, r.tab.len())
 	for e := r.head; e != nil; e = e.next {
 		out = append(out, Entry{Tuple: e.Tuple.Clone(), Mult: e.Mult})
 	}

@@ -1,0 +1,226 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ivmeps/internal/tuple"
+)
+
+// Property tests for the open-addressing storage: the relation (entry table
+// + index bucket tables + slab arenas + freelists) must match a
+// map[tuple.Key]-backed model under random Add/Clear/index churn, and the
+// raw table's backward-shift deletion must stay correct around slot-array
+// wraparound.
+
+// tableOp is one random operation against the relation under test.
+type tableOp struct {
+	A, B  int8
+	Mult  int8
+	Clear bool
+}
+
+// tableScript is a quick-generated operation sequence.
+type tableScript struct {
+	Ops []tableOp
+}
+
+// Generate implements quick.Generator with bounded sizes. Clears are rare
+// enough that tables regrow churn between them.
+func (tableScript) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(300) + 1
+	s := tableScript{Ops: make([]tableOp, n)}
+	for i := range s.Ops {
+		s.Ops[i] = tableOp{
+			A:     int8(r.Intn(8)),
+			B:     int8(r.Intn(8)),
+			Mult:  int8(r.Intn(9) - 4),
+			Clear: r.Intn(40) == 0,
+		}
+	}
+	return reflect.ValueOf(s)
+}
+
+// Property: after any op sequence with interleaved Clears, the relation
+// agrees with a map[tuple.Key]int64 model on size, multiplicities, total,
+// index counts, distinct-key counts, and enumeration contents. The
+// 8×8-value domain with deletes drives heavy insert/delete churn through
+// the tables' backward-shift deletion and the entry/node/bucket pools.
+func TestQuickTableMatchesKeyModel(t *testing.T) {
+	f := func(s tableScript) bool {
+		r := New("R", tuple.NewSchema("A", "B"))
+		ixA := r.EnsureIndex(tuple.NewSchema("A"))
+		ixB := r.EnsureIndex(tuple.NewSchema("B"))
+		model := map[tuple.Key]int64{}
+		for _, o := range s.Ops {
+			if o.Clear {
+				r.Clear()
+				clear(model)
+				continue
+			}
+			tup := tuple.Tuple{int64(o.A), int64(o.B)}
+			key := tuple.EncodeKey(tup)
+			err := r.Add(tup, int64(o.Mult))
+			if model[key]+int64(o.Mult) < 0 {
+				if err == nil {
+					return false
+				}
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			model[key] += int64(o.Mult)
+			if model[key] == 0 {
+				delete(model, key)
+			}
+		}
+		if r.Size() != len(model) {
+			return false
+		}
+		countA := map[int64]int{}
+		countB := map[int64]int{}
+		var total int64
+		for k, m := range model {
+			tup := tuple.DecodeKey(k)
+			if r.Mult(tup) != m {
+				return false
+			}
+			countA[tup[0]]++
+			countB[tup[1]]++
+			total += m
+		}
+		if r.TotalMultiplicity() != total {
+			return false
+		}
+		// Every absent tuple of the domain probes to 0.
+		for a := int64(0); a < 8; a++ {
+			for b := int64(0); b < 8; b++ {
+				tup := tuple.Tuple{a, b}
+				if _, ok := model[tuple.EncodeKey(tup)]; !ok && r.Mult(tup) != 0 {
+					return false
+				}
+			}
+		}
+		if ixA.DistinctKeys() != len(countA) || ixB.DistinctKeys() != len(countB) {
+			return false
+		}
+		for a, c := range countA {
+			if ixA.Count(tuple.Tuple{a}) != c {
+				return false
+			}
+		}
+		for b, c := range countB {
+			if ixB.Count(tuple.Tuple{b}) != c {
+				return false
+			}
+		}
+		seen := 0
+		ok := true
+		r.ForEach(func(tu tuple.Tuple, m int64) {
+			seen++
+			if model[tuple.EncodeKey(tu)] != m {
+				ok = false
+			}
+		})
+		return ok && seen == len(model)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTableBackwardShiftWraparound exercises del's backward shift directly
+// with crafted hashes whose probe clusters wrap around the end of the slot
+// array: after every deletion order, the surviving values must stay
+// reachable under their original hashes.
+func TestTableBackwardShiftWraparound(t *testing.T) {
+	// 8-slot table (below the grow threshold of 6 entries): home slots
+	// 6,6,7,0 form the cluster 6,7,0,1 across the wrap point.
+	homes := []uint64{6, 6, 7, 0}
+	for del1 := 0; del1 < len(homes); del1++ {
+		for del2 := 0; del2 < len(homes); del2++ {
+			if del2 == del1 {
+				continue
+			}
+			var tab oaTable[*Entry]
+			entries := make([]*Entry, len(homes))
+			for i, h := range homes {
+				entries[i] = &Entry{Tuple: tuple.Tuple{int64(i)}}
+				tab.put(h, entries[i])
+			}
+			if len(tab.slots) != oaMinSlots {
+				t.Fatalf("table grew to %d slots; test assumes %d", len(tab.slots), oaMinSlots)
+			}
+			tab.del(homes[del1], entries[del1])
+			tab.del(homes[del2], entries[del2])
+			if tab.len() != len(homes)-2 {
+				t.Fatalf("del order (%d,%d): len = %d, want %d", del1, del2, tab.len(), len(homes)-2)
+			}
+			for i, h := range homes {
+				got := tab.get(h, entries[i].Tuple)
+				if i == del1 || i == del2 {
+					if got != nil {
+						t.Fatalf("del order (%d,%d): deleted entry %d still reachable", del1, del2, i)
+					}
+				} else if got != entries[i] {
+					t.Fatalf("del order (%d,%d): entry %d lost after backward shift", del1, del2, i)
+				}
+			}
+			// The hole left behind must not break later inserts.
+			extra := &Entry{Tuple: tuple.Tuple{99}}
+			tab.put(7, extra)
+			if tab.get(7, extra.Tuple) != extra {
+				t.Fatalf("del order (%d,%d): insert into shifted cluster lost", del1, del2)
+			}
+		}
+	}
+}
+
+// TestTableQuickWraparound drives the raw table with random constrained
+// hashes (all homes in the low slots of an 8..64-slot table) so clusters
+// constantly collide and wrap, against a map model, including interleaved
+// clears.
+func TestTableQuickWraparound(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for round := 0; round < 200; round++ {
+		var tab oaTable[*Entry]
+		byVal := map[int64]*Entry{}
+		hashOf := map[int64]uint64{}
+		next := int64(0)
+		for op := 0; op < 120; op++ {
+			switch {
+			case rng.Intn(20) == 0:
+				tab.clear()
+				clear(byVal)
+			case rng.Intn(2) == 0 || len(byVal) == 0:
+				v := next
+				next++
+				e := &Entry{Tuple: tuple.Tuple{v}}
+				h := uint64(rng.Intn(8)) // dense collisions, forced wraparound
+				tab.put(h, e)
+				byVal[v] = e
+				hashOf[v] = h
+			default:
+				// Delete a random present value.
+				var v int64
+				for v = range byVal {
+					break
+				}
+				tab.del(hashOf[v], byVal[v])
+				delete(byVal, v)
+			}
+			if tab.len() != len(byVal) {
+				t.Fatalf("round %d op %d: len %d != model %d", round, op, tab.len(), len(byVal))
+			}
+			for v, e := range byVal {
+				if tab.get(hashOf[v], e.Tuple) != e {
+					t.Fatalf("round %d op %d: value %d unreachable", round, op, v)
+				}
+			}
+		}
+	}
+}

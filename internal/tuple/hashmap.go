@@ -1,0 +1,146 @@
+package tuple
+
+// IntMap is an insert-only open-addressing map from Tuple to int, keyed on
+// unencoded tuples (no key string is ever built). It is the pooled grouping
+// table of the batch-update hot paths: Reset clears the map while keeping
+// its slot array and key arena, so a map reused across batches stops
+// allocating once it has grown to the working-set size.
+//
+// Keys passed to Put are stored by reference and must stay valid (and
+// unmodified) until the next Reset; PutCopy copies the key into an internal
+// arena for callers whose key lives in a reused scratch buffer. There is no
+// deletion. The zero value is ready to use. Not safe for concurrent use.
+type IntMap struct {
+	slots []intMapSlot
+	mask  uint64
+	count int
+	seed  uint64
+	arena Tuple // backing storage for PutCopy keys, truncated by Reset
+}
+
+// intMapSlot is one open-addressing slot; key == nil marks it empty (empty
+// tuples are stored as a non-nil zero-length slice).
+type intMapSlot struct {
+	hash uint64
+	key  Tuple
+	val  int
+}
+
+const intMapMinSlots = 8
+
+// emptyTuple is the non-nil representative of the zero-arity key.
+var emptyTuple = Tuple{}
+
+// Len returns the number of stored keys.
+func (m *IntMap) Len() int { return m.count }
+
+// ensureSeed draws the map's hash seed on first use. The seed never
+// changes once set (0 is the unset sentinel; NewSeed is redrawn in the
+// astronomically unlikely case it returns 0), so hashes returned by
+// GetHash stay valid for a later PutHashed.
+func (m *IntMap) ensureSeed() {
+	for m.seed == 0 {
+		m.seed = NewSeed()
+	}
+}
+
+// Get returns the value stored for t.
+func (m *IntMap) Get(t Tuple) (int, bool) {
+	v, _, ok := m.GetHash(t)
+	return v, ok
+}
+
+// GetHash is Get returning additionally the key's hash, for a subsequent
+// PutHashed/PutCopyHashed on a miss — the get-then-put pattern of the
+// batch grouping paths then hashes each distinct tuple once.
+func (m *IntMap) GetHash(t Tuple) (int, uint64, bool) {
+	m.ensureSeed()
+	h := Hash(m.seed, t)
+	if m.count == 0 {
+		return 0, h, false
+	}
+	for i := h & m.mask; ; i = (i + 1) & m.mask {
+		s := &m.slots[i]
+		if s.key == nil {
+			return 0, h, false
+		}
+		if s.hash == h && s.key.Equal(t) {
+			return s.val, h, true
+		}
+	}
+}
+
+// Put stores {t → v}, referencing t directly. t must not already be present
+// (the callers' get-then-put pattern guarantees it) and must stay valid
+// until the next Reset.
+func (m *IntMap) Put(t Tuple, v int) {
+	m.ensureSeed()
+	m.PutHashed(Hash(m.seed, t), t, v)
+}
+
+// PutHashed is Put with the hash precomputed by GetHash.
+func (m *IntMap) PutHashed(h uint64, t Tuple, v int) {
+	if m.count >= len(m.slots)*3/4 {
+		m.grow()
+	}
+	if t == nil {
+		t = emptyTuple
+	}
+	for i := h & m.mask; ; i = (i + 1) & m.mask {
+		s := &m.slots[i]
+		if s.key == nil {
+			s.hash, s.key, s.val = h, t, v
+			m.count++
+			return
+		}
+	}
+}
+
+// PutCopy is Put with the key copied into the map's internal arena, for
+// keys living in a scratch buffer the caller will overwrite.
+func (m *IntMap) PutCopy(t Tuple, v int) {
+	m.ensureSeed()
+	m.PutCopyHashed(Hash(m.seed, t), t, v)
+}
+
+// PutCopyHashed is PutCopy with the hash precomputed by GetHash.
+func (m *IntMap) PutCopyHashed(h uint64, t Tuple, v int) {
+	start := len(m.arena)
+	m.arena = append(m.arena, t...)
+	m.PutHashed(h, m.arena[start:len(m.arena):len(m.arena)], v)
+}
+
+// Reset empties the map, keeping the slot array and key arena for reuse.
+// Keys stored by reference are released; arena-copied keys are overwritten
+// by subsequent PutCopy calls.
+func (m *IntMap) Reset() {
+	if m.count > 0 {
+		clear(m.slots)
+		m.count = 0
+	}
+	m.arena = m.arena[:0]
+}
+
+// grow doubles the slot array (allocating the initial one on first use) and
+// reinserts the stored keys by their cached hashes.
+func (m *IntMap) grow() {
+	old := m.slots
+	n := 2 * len(old)
+	if n < intMapMinSlots {
+		n = intMapMinSlots
+	}
+	m.slots = make([]intMapSlot, n)
+	m.mask = uint64(n - 1)
+	for i := range old {
+		s := &old[i]
+		if s.key == nil {
+			continue
+		}
+		for j := s.hash & m.mask; ; j = (j + 1) & m.mask {
+			if m.slots[j].key == nil {
+				m.slots[j] = *s
+				break
+			}
+		}
+	}
+}

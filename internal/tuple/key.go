@@ -3,6 +3,13 @@ package tuple
 // Key is a compact, comparable encoding of a Tuple, suitable for use as a
 // Go map key. Values are encoded little-endian in 8 bytes each, so two
 // tuples of the same arity encode equal iff they are equal.
+//
+// Key is a cold-path convenience only: enumeration dedup in tests, model
+// maps in property tests, and embedder code that wants an ordinary Go map.
+// The engine's hot paths — relation storage, index buckets, delta
+// aggregation, and ApplyBatch grouping — key directly on unencoded tuples
+// via tuple.Hash and the open-addressing tables of internal/relation, and
+// never construct a Key.
 type Key string
 
 // EncodeKey encodes t into a Key.

@@ -203,17 +203,6 @@ func (p Projection) AppendTo(dst, t Tuple) Tuple {
 	return dst
 }
 
-// AppendKey appends the key encoding of the restriction of t directly to
-// buf, without materializing the restricted tuple. It is the fused
-// AppendTo + AppendKey used by the update hot path when only the encoded
-// key of a projection is needed.
-func (p Projection) AppendKey(buf []byte, t Tuple) []byte {
-	for _, j := range p.pos {
-		buf = appendKeyValue(buf, t[j])
-	}
-	return buf
-}
-
 // Restrict is a convenience one-shot projection: the values of t (over src)
 // at the positions of the variables of target. It allocates the position
 // table on every call; use Projection in loops.
