@@ -9,7 +9,7 @@ GO ?= go
 # and the parallel-batch worker sweep. Keep in sync with BENCH_update.json.
 BENCH_RE = Update|Batch|Parallel
 
-.PHONY: check test vet bench bench-check bench-all
+.PHONY: check test vet bench bench-fresh diff-allocs diff-time bench-check bench-check-allocs docs-check bench-all
 
 check: vet test
 
@@ -36,10 +36,36 @@ bench:
 # Default sized for a virtualized/shared box (observed single-run noise up
 # to ±40%); tighten on quiet bare metal.
 BENCH_TOL = 0.50
-bench-check:
+
+# One fresh benchmark run, recorded as BENCH_check.json. CI runs this once
+# and then applies both diff gates to the same report, so the benchmark
+# regex lives only here (BENCH_RE above).
+bench-fresh:
 	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem | $(GO) run ./cmd/bench2json > BENCH_check.json
-	@status=0; $(GO) run ./cmd/benchdiff -baseline BENCH_update.json -new BENCH_check.json -tol $(BENCH_TOL) || status=$$?; \
+
+# Diff-only steps over an existing BENCH_check.json (run bench-fresh first).
+# diff-allocs is the hard CI gate: allocs/op is machine-independent and,
+# with the deterministic worker-pool warmup, deterministic even on one-shot
+# runs. diff-time is advisory on shared runners.
+diff-allocs:
+	$(GO) run ./cmd/benchdiff -baseline BENCH_update.json -new BENCH_check.json -allocs-only
+
+diff-time:
+	$(GO) run ./cmd/benchdiff -baseline BENCH_update.json -new BENCH_check.json -tol $(BENCH_TOL)
+
+bench-check: bench-fresh
+	@status=0; $(MAKE) --no-print-directory diff-time || status=$$?; \
 		rm -f BENCH_check.json; exit $$status
+
+bench-check-allocs: bench-fresh
+	@status=0; $(MAKE) --no-print-directory diff-allocs || status=$$?; \
+		rm -f BENCH_check.json; exit $$status
+
+# Documentation gate: markdown link/anchor integrity across every *.md in
+# the repository plus doc comments on all exported API (internal/doclint).
+docs-check:
+	$(GO) test ./internal/doclint/
+	$(GO) vet ./...
 
 # Full experiment sweep (slow); see cmd/hiqbench for options.
 bench-all:

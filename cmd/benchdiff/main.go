@@ -16,14 +16,17 @@
 //	benchdiff -baseline BENCH_update.json -new fresh.json
 //
 // Machine-to-machine ns/op variance is large; compare like with like (same
-// machine as the committed baseline) or raise -tol. The CI job that runs
-// this is advisory (continue-on-error) for exactly that reason.
+// machine as the committed baseline) or raise -tol. -allocs-only skips the
+// time comparison entirely: allocs/op is machine-independent and — with the
+// deterministic worker-pool warmup — fully deterministic, so the CI bench
+// job gates it hard while keeping the ns/op diff advisory.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"ivmeps/internal/benchutil"
@@ -48,9 +51,13 @@ func main() {
 		newPath      = flag.String("new", "", "fresh bench2json report to compare (required)")
 		tol          = flag.Float64("tol", 0.30, "allowed fractional ns/op regression")
 		allocTol     = flag.Float64("alloc-tol", 0, "allowed fractional allocs/op increase (default strict: any increase fails)")
+		allocsOnly   = flag.Bool("allocs-only", false, "gate allocs/op only; ignore ns/op entirely (for noisy shared runners)")
 		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the fresh run")
 	)
 	flag.Parse()
+	if *allocsOnly {
+		*tol = math.Inf(1)
+	}
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
 		flag.Usage()

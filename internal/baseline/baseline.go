@@ -68,14 +68,18 @@ func NewIVMEpsStatic(q *query.Query, eps float64) (*IVMEps, error) {
 	return &IVMEps{e: e, q: q, eps: eps}, nil
 }
 
+// Name identifies the system in experiment output.
 func (s *IVMEps) Name() string { return fmt.Sprintf("ivm-eps(%.2f)", s.eps) }
 
+// Preprocess runs the paper's preprocessing stage over db.
 func (s *IVMEps) Preprocess(db naive.Database) error { return core.Preprocess(s.e, db) }
 
+// Update applies a single-tuple update.
 func (s *IVMEps) Update(rel string, t tuple.Tuple, m int64) error {
 	return s.e.Update(rel, t, m)
 }
 
+// Enumerate yields the distinct result tuples with multiplicities.
 func (s *IVMEps) Enumerate(yield func(t tuple.Tuple, m int64) bool) { s.e.Enumerate(yield) }
 
 // Engine exposes the wrapped engine for inspection.
@@ -97,8 +101,10 @@ func NewRecompute(q *query.Query) *Recompute {
 	return &Recompute{q: q.Clone(), db: naive.Database{}, dirty: true}
 }
 
+// Name identifies the system in experiment output.
 func (s *Recompute) Name() string { return "recompute" }
 
+// Preprocess loads the initial database.
 func (s *Recompute) Preprocess(db naive.Database) error {
 	for _, a := range s.q.Atoms {
 		if _, ok := s.db[a.Rel]; !ok {
@@ -115,6 +121,7 @@ func (s *Recompute) Preprocess(db naive.Database) error {
 	return nil
 }
 
+// Update applies a single-tuple update and marks the cached result stale.
 func (s *Recompute) Update(rel string, t tuple.Tuple, m int64) error {
 	r, ok := s.db[rel]
 	if !ok {
@@ -127,6 +134,7 @@ func (s *Recompute) Update(rel string, t tuple.Tuple, m int64) error {
 	return nil
 }
 
+// Enumerate re-evaluates the query if stale, then yields the result.
 func (s *Recompute) Enumerate(yield func(t tuple.Tuple, m int64) bool) {
 	if s.dirty {
 		s.result = naive.MustEval(s.q, s.db)
@@ -156,8 +164,10 @@ func NewFirstOrderIVM(q *query.Query) (*FirstOrderIVM, error) {
 	return &FirstOrderIVM{q: q.Clone(), db: naive.Database{}}, nil
 }
 
+// Name identifies the system in experiment output.
 func (s *FirstOrderIVM) Name() string { return "fo-ivm" }
 
+// Preprocess loads the initial database and materializes the result.
 func (s *FirstOrderIVM) Preprocess(db naive.Database) error {
 	for _, a := range s.q.Atoms {
 		if _, ok := s.db[a.Rel]; !ok {
@@ -174,6 +184,7 @@ func (s *FirstOrderIVM) Preprocess(db naive.Database) error {
 	return nil
 }
 
+// Update applies the first-order delta rule to the materialized result.
 func (s *FirstOrderIVM) Update(rel string, t tuple.Tuple, m int64) error {
 	r, ok := s.db[rel]
 	if !ok {
@@ -216,6 +227,7 @@ func (s *FirstOrderIVM) Update(rel string, t tuple.Tuple, m int64) error {
 	return r.Add(t, m)
 }
 
+// Enumerate yields the maintained result.
 func (s *FirstOrderIVM) Enumerate(yield func(t tuple.Tuple, m int64) bool) {
 	s.result.ForEachUntil(yield)
 }
@@ -238,12 +250,16 @@ func NewPlainTree(q *query.Query) (*PlainTree, error) {
 	return &PlainTree{e: e}, nil
 }
 
+// Name identifies the system in experiment output.
 func (s *PlainTree) Name() string { return "plain-tree" }
 
+// Preprocess runs preprocessing over the plain view tree.
 func (s *PlainTree) Preprocess(db naive.Database) error { return core.Preprocess(s.e, db) }
 
+// Update applies a single-tuple update through the plain view tree.
 func (s *PlainTree) Update(rel string, t tuple.Tuple, m int64) error {
 	return s.e.Update(rel, t, m)
 }
 
+// Enumerate yields the distinct result tuples with multiplicities.
 func (s *PlainTree) Enumerate(yield func(t tuple.Tuple, m int64) bool) { s.e.Enumerate(yield) }

@@ -50,6 +50,11 @@ import (
 // completely unchanged, unlike a sequential Update loop, which would have
 // applied the prefix.
 func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error {
+	// The writer lock covers the whole batch: a Snapshot captured while the
+	// batch is in flight blocks until the commit and then observes the
+	// post-batch state; one captured before observes the pre-batch state.
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if !e.preprocessed {
 		return fmt.Errorf("core: ApplyBatch before Preprocess")
 	}
@@ -126,6 +131,7 @@ func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error
 	e.ws0.putDelta(d)
 	e.stats.Updates += int64(applied)
 	e.flushWorkerStats()
+	e.epoch++ // commit point: publish the post-batch state to future snapshots
 	return nil
 }
 

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"ivmeps/internal/query"
 	"ivmeps/internal/relation"
@@ -59,6 +60,12 @@ type Options struct {
 
 // Engine maintains the materialized view trees of a hierarchical query and
 // answers enumeration requests over them.
+//
+// An Engine is single-writer: Update, ApplyBatch, and the direct
+// Result/Enumerate path must all run on one goroutine (ApplyBatch
+// parallelizes internally). Snapshot may be called from any goroutine, and
+// the Snapshots it returns enumerate concurrently with the writer — see
+// snapshot.go for the epoch scheme.
 type Engine struct {
 	orig *query.Query // user's query
 	q    *query.Query // occurrence-rewritten query (unique relation symbols)
@@ -120,8 +127,24 @@ type Engine struct {
 	bind  []tuple.Value
 	bound []bool
 
+	// ectx is the engine's own enumeration context (live relations, the
+	// bind/bound arrays above); snapshots carry their own (snapshot.go).
+	ectx enumCtx
+
 	// freeSlots are the slots of free(Q) in head order.
 	freeSlots []int
+
+	// mu serializes the write operations (Update, ApplyBatch, the
+	// preprocessing commit) with snapshot capture. Writers hold it for the
+	// whole operation, so a Snapshot observes a committed state — never a
+	// half-applied batch; snapshot *enumeration* runs outside the lock.
+	mu sync.Mutex
+
+	// epoch counts committed write operations. It is bumped under mu at
+	// every commit point — Preprocess, each applied Update, each applied
+	// ApplyBatch (major rebalances happen inside those operations and
+	// publish with them) — and stamped onto snapshots.
+	epoch uint64
 
 	n int // current database size (sum of distinct-tuple counts, per original relation)
 	m int // threshold base M with ⌊M/4⌋ ≤ N < M
@@ -240,6 +263,7 @@ func New(q *query.Query, opts Options) (*Engine, error) {
 	e.vars = e.q.Vars()
 	e.bind = make([]tuple.Value, len(e.vars))
 	e.bound = make([]bool, len(e.vars))
+	e.ectx = enumCtx{e: e, bind: e.bind, bound: e.bound, work: &e.work, enumerated: &e.stats.EnumeratedTuples}
 	e.ws0.ubind = make([]tuple.Value, len(e.vars))
 	for i, v := range e.vars {
 		e.slot[v] = i
@@ -370,6 +394,15 @@ func (e *Engine) Theta() float64 { return relation.Threshold(e.m, e.opts.Epsilon
 
 // Stats returns activity counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// Epoch returns the number of committed write operations (Preprocess
+// counts as the first). A Snapshot's Epoch identifies the committed state
+// it observes.
+func (e *Engine) Epoch() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch
+}
 
 // Work returns the cumulative count of enumeration operations (cursor
 // advances and multiplicity lookups). Differences between successive reads

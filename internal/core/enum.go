@@ -18,6 +18,58 @@ import (
 // Distinct-tuple semantics across overlapping streams uses the Union
 // algorithm (Figure 15); combinations across independent streams use the
 // Product algorithm (Figure 16).
+//
+// All mutable enumeration state — the binding array, the bound flags, the
+// work counter, and the node→relation resolution — lives in an enumCtx, so
+// an enumeration belongs either to the engine itself (live relations,
+// writer-goroutine only) or to a Snapshot (frozen relations, own bindings,
+// concurrent with writers; snapshot.go).
+
+// enumCtx is one enumeration context: the binding slots shared by a tree of
+// iterators, the delay-work counter, and the relation resolver. The
+// engine's own context resolves nodes to the live relations and may only be
+// used from the writer goroutine; a snapshot's context resolves nodes to
+// the frozen relations captured at snapshot time and is independent of
+// concurrent updates.
+type enumCtx struct {
+	e     *Engine
+	bind  []tuple.Value
+	bound []bool
+	work  *int64
+	// enumerated, when non-nil, counts emitted result tuples (the engine
+	// context points it at Stats.EnumeratedTuples; snapshot contexts leave
+	// it nil — engine stats are not written from reader goroutines).
+	enumerated *int64
+	// rels, when non-nil, is a snapshot's frozen node→relation capture;
+	// nil resolves live through Engine.relOf.
+	rels map[*viewtree.Node]*relation.Relation
+}
+
+func (c *enumCtx) tick() { *c.work++ }
+
+// relOf resolves the materialized relation backing a node, frozen or live.
+func (c *enumCtx) relOf(n *viewtree.Node) *relation.Relation {
+	if c.rels == nil {
+		return c.e.relOf(n)
+	}
+	r := c.rels[n]
+	if r == nil {
+		panic(fmt.Sprintf("core: snapshot did not capture a relation for node %s", n.Name))
+	}
+	return r
+}
+
+// infoOf returns the node's enumeration metadata. Every node of every tree
+// is covered at New time; a miss is a bug, and building lazily here would
+// write the e.info map that snapshot contexts read lock-free from other
+// goroutines, so it panics rather than repairs.
+func (c *enumCtx) infoOf(n *viewtree.Node) *nodeInfo {
+	inf, ok := c.e.info[n]
+	if !ok {
+		panic(fmt.Sprintf("core: enumeration of node %s with no metadata (not built at New)", n.Name))
+	}
+	return inf
+}
 
 type resultIter interface {
 	open()
@@ -45,7 +97,7 @@ const (
 
 // nodeIter enumerates the relation represented by one view (sub)tree.
 type nodeIter struct {
-	e   *Engine
+	c   *enumCtx
 	inf *nodeInfo
 
 	mode nodeMode
@@ -71,12 +123,9 @@ type nodeIter struct {
 	buckets *unionIter
 }
 
-func (e *Engine) newNodeIter(n *viewtree.Node) *nodeIter {
-	inf := e.info[n]
-	if inf == nil {
-		inf = e.buildInfo(n)
-	}
-	it := &nodeIter{e: e, inf: inf}
+func (c *enumCtx) newNodeIter(n *viewtree.Node) *nodeIter {
+	inf := c.infoOf(n)
+	it := &nodeIter{c: c, inf: inf}
 	switch {
 	case inf.indChild != nil:
 		it.mode = mGrounded
@@ -84,8 +133,8 @@ func (e *Engine) newNodeIter(n *viewtree.Node) *nodeIter {
 		it.mode = mDirect
 	default:
 		it.mode = mProduct
-		for _, c := range inf.kids {
-			it.kids = append(it.kids, e.newNodeIter(c))
+		for _, ch := range inf.kids {
+			it.kids = append(it.kids, c.newNodeIter(ch))
 		}
 	}
 	return it
@@ -96,17 +145,17 @@ func (e *Engine) newNodeIter(n *viewtree.Node) *nodeIter {
 // whose values ancestors have bound. (Using the runtime bound-set instead
 // would absorb stale bindings from sibling Union operands.)
 func (it *nodeIter) openCursor() {
-	e := it.e
+	c := it.c
 	inf := it.inf
-	it.rel = e.relOf(inf.node)
+	it.rel = c.relOf(inf.node)
 	it.freshPos = inf.freshPos
 	it.freshSlot = inf.freshSlot
 	var ctxKey tuple.Tuple
 	for i, s := range inf.ctxSlot {
-		if !e.bound[s] {
+		if !c.bound[s] {
 			panic(fmt.Sprintf("core: opening %s with unbound context variable %s", inf.node.Name, inf.ctxSchema[i]))
 		}
-		ctxKey = append(ctxKey, e.bind[s])
+		ctxKey = append(ctxKey, c.bind[s])
 	}
 	it.single, it.singleOK = false, false
 	it.useIndex = false
@@ -126,7 +175,7 @@ func (it *nodeIter) openCursor() {
 
 // cursorNext returns the next matching entry, or nil.
 func (it *nodeIter) cursorNext() (tuple.Tuple, int64, bool) {
-	it.e.work++
+	it.c.tick()
 	if it.single {
 		if it.singleOK {
 			it.singleOK = false
@@ -152,17 +201,17 @@ func (it *nodeIter) cursorNext() (tuple.Tuple, int64, bool) {
 
 // bindFresh writes a view tuple's fresh positions into the binding array.
 func (it *nodeIter) bindFresh(t tuple.Tuple) {
-	e := it.e
+	c := it.c
 	for k, pos := range it.freshPos {
 		s := it.freshSlot[k]
-		e.bind[s] = t[pos]
-		e.bound[s] = true
+		c.bind[s] = t[pos]
+		c.bound[s] = true
 	}
 }
 
 func (it *nodeIter) unbindFresh() {
 	for _, s := range it.freshSlot {
-		it.e.bound[s] = false
+		it.c.bound[s] = false
 	}
 }
 
@@ -183,14 +232,14 @@ func (it *nodeIter) open() {
 func (it *nodeIter) openBuckets() {
 	var subs []resultIter
 	for t, _, ok := it.cursorNext(); ok; t, _, ok = it.cursorNext() {
-		g := &groundedInst{e: it.e, inf: it.inf}
+		g := &groundedInst{c: it.c, inf: it.inf}
 		g.h = make(tuple.Tuple, len(it.freshPos))
 		for k, pos := range it.freshPos {
 			g.h[k] = t[pos]
 		}
 		g.slots = append([]int(nil), it.freshSlot...)
-		for _, c := range it.inf.kids {
-			g.kids = append(g.kids, it.e.newNodeIter(c))
+		for _, ch := range it.inf.kids {
+			g.kids = append(g.kids, it.c.newNodeIter(ch))
 		}
 		subs = append(subs, g)
 	}
@@ -279,27 +328,27 @@ func (it *nodeIter) close() {
 // lookup returns the multiplicity, in the relation represented by this
 // subtree, of the tuple formed by the currently bound variables.
 func (it *nodeIter) lookup() int64 {
-	e := it.e
+	c := it.c
 	inf := it.inf
 	if inf.indChild != nil {
 		// Grounded lookup: sum over matching heavy keys (the Union
 		// algorithm's bucket lookups; O(N^(1−ε)) buckets).
-		return e.groundedLookup(inf)
+		return c.groundedLookup(inf)
 	}
 	if inf.direct || len(inf.node.Children) == 0 {
-		e.work++
+		c.tick()
 		t := make(tuple.Tuple, len(inf.slots))
 		for i, s := range inf.slots {
-			if !e.bound[s] {
+			if !c.bound[s] {
 				panic(fmt.Sprintf("core: lookup of %s with unbound variable %s", inf.node.Name, inf.schema[i]))
 			}
-			t[i] = e.bind[s]
+			t[i] = c.bind[s]
 		}
-		return e.relOf(inf.node).Mult(t)
+		return c.relOf(inf.node).Mult(t)
 	}
 	m := int64(1)
-	for _, c := range inf.kids {
-		cm := e.lookupNode(c)
+	for _, ch := range inf.kids {
+		cm := c.lookupNode(ch)
 		if cm == 0 {
 			return 0
 		}
@@ -308,13 +357,13 @@ func (it *nodeIter) lookup() int64 {
 	return m
 }
 
-func (e *Engine) lookupNode(n *viewtree.Node) int64 {
-	it := nodeIter{e: e, inf: e.info[n]}
+func (c *enumCtx) lookupNode(n *viewtree.Node) int64 {
+	it := nodeIter{c: c, inf: c.infoOf(n)}
 	return it.lookup()
 }
 
-func (e *Engine) groundedLookup(inf *nodeInfo) int64 {
-	rel := e.relOf(inf.node)
+func (c *enumCtx) groundedLookup(inf *nodeInfo) int64 {
+	rel := c.relOf(inf.node)
 	// Context is structural (the variables shared with the parent view);
 	// the remaining key variables are summed over. Consulting the runtime
 	// bound-set here would wrongly treat a stale binding of a summed heavy
@@ -324,25 +373,25 @@ func (e *Engine) groundedLookup(inf *nodeInfo) int64 {
 	freshSlot := inf.freshSlot
 	var ctxKey tuple.Tuple
 	for i, s := range inf.ctxSlot {
-		if !e.bound[s] {
+		if !c.bound[s] {
 			panic(fmt.Sprintf("core: grounded lookup of %s with unbound context variable %s", inf.node.Name, inf.ctxSchema[i]))
 		}
-		ctxKey = append(ctxKey, e.bind[s])
+		ctxKey = append(ctxKey, c.bind[s])
 	}
 	total := int64(0)
 	sum := func(t tuple.Tuple, _ int64) {
-		e.work++
+		c.tick()
 		// Bind the grounding, product the children, restore.
 		saved := make([]tuple.Value, len(freshSlot))
 		savedB := make([]bool, len(freshSlot))
 		for k, s := range freshSlot {
-			saved[k], savedB[k] = e.bind[s], e.bound[s]
-			e.bind[s] = t[freshPos[k]]
-			e.bound[s] = true
+			saved[k], savedB[k] = c.bind[s], c.bound[s]
+			c.bind[s] = t[freshPos[k]]
+			c.bound[s] = true
 		}
 		m := int64(1)
-		for _, c := range inf.kids {
-			cm := e.lookupNode(c)
+		for _, ch := range inf.kids {
+			cm := c.lookupNode(ch)
 			if cm == 0 {
 				m = 0
 				break
@@ -351,7 +400,7 @@ func (e *Engine) groundedLookup(inf *nodeInfo) int64 {
 		}
 		total += m
 		for k, s := range freshSlot {
-			e.bind[s], e.bound[s] = saved[k], savedB[k]
+			c.bind[s], c.bound[s] = saved[k], savedB[k]
 		}
 	}
 	if len(ctxSchema) == 0 {
@@ -370,7 +419,7 @@ func (e *Engine) groundedLookup(inf *nodeInfo) int64 {
 // Grounded instances: one per heavy key (Figure 13, lines 8–11).
 
 type groundedInst struct {
-	e     *Engine
+	c     *enumCtx
 	inf   *nodeInfo
 	h     tuple.Tuple // grounding values for the fresh key slots
 	slots []int       // binding slots for h
@@ -380,8 +429,8 @@ type groundedInst struct {
 
 func (g *groundedInst) bindH() {
 	for k, s := range g.slots {
-		g.e.bind[s] = g.h[k]
-		g.e.bound[s] = true
+		g.c.bind[s] = g.h[k]
+		g.c.bound[s] = true
 	}
 }
 
@@ -406,17 +455,17 @@ func (g *groundedInst) rebind() {
 }
 
 func (g *groundedInst) lookup() int64 {
-	e := g.e
+	c := g.c
 	saved := make([]tuple.Value, len(g.slots))
 	savedB := make([]bool, len(g.slots))
 	for k, s := range g.slots {
-		saved[k], savedB[k] = e.bind[s], e.bound[s]
-		e.bind[s] = g.h[k]
-		e.bound[s] = true
+		saved[k], savedB[k] = c.bind[s], c.bound[s]
+		c.bind[s] = g.h[k]
+		c.bound[s] = true
 	}
 	m := int64(1)
-	for _, c := range g.kids {
-		cm := c.lookup()
+	for _, ch := range g.kids {
+		cm := ch.lookup()
 		if cm == 0 {
 			m = 0
 			break
@@ -424,7 +473,7 @@ func (g *groundedInst) lookup() int64 {
 		m *= cm
 	}
 	for k, s := range g.slots {
-		e.bind[s], e.bound[s] = saved[k], savedB[k]
+		c.bind[s], c.bound[s] = saved[k], savedB[k]
 	}
 	return m
 }
@@ -434,7 +483,7 @@ func (g *groundedInst) close() {
 		g.prod.close()
 	}
 	for _, s := range g.slots {
-		g.e.bound[s] = false
+		g.c.bound[s] = false
 	}
 }
 
@@ -637,28 +686,23 @@ func (u *unionIter) close() {
 // multiplicities: a Product across connected components of a Union across
 // each component's view trees.
 type Iterator struct {
-	e    *Engine
+	c    *enumCtx
 	top  resultIter
 	out  tuple.Tuple
 	done bool
 }
 
-// Result opens an iterator over the current query result. The iterator is
-// invalidated by updates; enumerate before updating again (Section 1's
-// model enumerates between update batches).
-func (e *Engine) Result() *Iterator {
-	if !e.preprocessed {
-		panic("core: Result before Preprocess")
-	}
+// result opens an iterator over the context's view of the query result.
+func (c *enumCtx) result() *Iterator {
 	// Reset bindings.
-	for i := range e.bound {
-		e.bound[i] = false
+	for i := range c.bound {
+		c.bound[i] = false
 	}
 	var comps []resultIter
-	for _, c := range e.forest.Components {
+	for _, comp := range c.e.forest.Components {
 		var trees []resultIter
-		for _, t := range c.Trees {
-			trees = append(trees, e.newNodeIter(t))
+		for _, t := range comp.Trees {
+			trees = append(trees, c.newNodeIter(t))
 		}
 		if len(trees) == 1 {
 			comps = append(comps, trees[0])
@@ -673,7 +717,18 @@ func (e *Engine) Result() *Iterator {
 		top = newProd(comps)
 	}
 	top.open()
-	return &Iterator{e: e, top: top, out: make(tuple.Tuple, len(e.freeSlots))}
+	return &Iterator{c: c, top: top, out: make(tuple.Tuple, len(c.e.freeSlots))}
+}
+
+// Result opens an iterator over the current query result, reading the live
+// relations. The iterator is invalidated by updates; enumerate before
+// updating again (Section 1's model enumerates between update batches), or
+// take a Snapshot to enumerate concurrently with updates.
+func (e *Engine) Result() *Iterator {
+	if !e.preprocessed {
+		panic("core: Result before Preprocess")
+	}
+	return e.ectx.result()
 }
 
 // Next returns the next distinct result tuple (over the query's free
@@ -688,11 +743,13 @@ func (it *Iterator) Next() (tuple.Tuple, int64, bool) {
 		it.done = true
 		return nil, 0, false
 	}
-	e := it.e
-	for i, s := range e.freeSlots {
-		it.out[i] = e.bind[s]
+	c := it.c
+	for i, s := range c.e.freeSlots {
+		it.out[i] = c.bind[s]
 	}
-	e.stats.EnumeratedTuples++
+	if c.enumerated != nil {
+		*c.enumerated++
+	}
 	return it.out, m, true
 }
 
@@ -705,7 +762,9 @@ func (it *Iterator) Close() {
 }
 
 // Enumerate calls yield for every distinct result tuple with its
-// multiplicity, stopping early if yield returns false.
+// multiplicity, stopping early if yield returns false. It reads the live
+// relations and must not run concurrently with updates; use Snapshot for
+// that.
 func (e *Engine) Enumerate(yield func(t tuple.Tuple, m int64) bool) {
 	it := e.Result()
 	defer it.Close()

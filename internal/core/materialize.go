@@ -16,6 +16,8 @@ import (
 // and all view trees are materialized bottom-up. db maps original relation
 // names to relations; missing relations start empty.
 func Preprocess(e *Engine, db naive.Database) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.preprocessed {
 		return fmt.Errorf("core: engine already preprocessed")
 	}
@@ -51,6 +53,7 @@ func Preprocess(e *Engine, db naive.Database) error {
 		e.buildRoutes()
 	}
 	e.preprocessed = true
+	e.epoch = 1 // first committed state
 	return nil
 }
 

@@ -216,6 +216,53 @@ func TestParallelPropagationAllocFree(t *testing.T) {
 	e.ws0.putDelta(minus)
 }
 
+// TestParallelBatchWarmupDeterministic pins the fix for the stray
+// pool-sizing allocs that kept the CI bench gate advisory: group→worker
+// assignment is static (worker w drains groups w, w+W, …), so a single
+// warm-up pass of a batch shape sizes exactly the scratch that every later
+// identical batch uses, and repeated parallel ApplyBatch cycles are
+// allocation-free — not just usually, but deterministically.
+func TestParallelBatchWarmupDeterministic(t *testing.T) {
+	forcePool(t)
+	q := query.MustParse(multiTreeQuery)
+	e, err := New(q, Options{Mode: viewtree.Dynamic, Epsilon: 0.5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(93))
+	if err := Preprocess(e, randomDB(q, rng, 400, 40)); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const batchRows = 256
+	rows := make([]tuple.Tuple, batchRows)
+	buf := make(tuple.Tuple, 3*batchRows)
+	mults := make([]int64, batchRows)
+	negs := make([]int64, batchRows)
+	for i := range rows {
+		rows[i] = buf[3*i : 3*i+3]
+		rows[i][0] = int64(rng.Intn(40))
+		rows[i][1] = rng.Int63n(400)
+		rows[i][2] = 1_000_000 + int64(i)
+		mults[i] = 1
+		negs[i] = -1
+	}
+	cycle := func() {
+		if err := e.ApplyBatch("T", rows, mults); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.ApplyBatch("T", rows, negs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One warm-up pass must suffice under deterministic assignment.
+	cycle()
+	if n := testing.AllocsPerRun(30, cycle); n != 0 {
+		t.Errorf("warmed parallel batch cycle allocates %v per run, want deterministic 0", n)
+	}
+}
+
 // TestEngineCloseLifecycle checks that Close is idempotent and that the
 // engine keeps working (restarting its pool) after Close.
 func TestEngineCloseLifecycle(t *testing.T) {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"ivmeps/internal/relation"
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+)
+
+// Reader/writer epochs. Every committed write operation (Preprocess, each
+// Update, each ApplyBatch — major rebalances commit inside them) publishes
+// a new epoch under the engine's writer lock. Snapshot, also under the
+// lock, captures the epoch plus a frozen handle (relation.Freeze) for every
+// relation enumeration can reach, so a snapshot always observes one
+// committed state: the one before or the one after any concurrent batch,
+// never a half-applied one. The capture is O(#relations) — it copies no
+// data. When the writer later mutates a pinned relation, the relation
+// detaches its storage copy-on-first-write (see internal/relation), so the
+// snapshot keeps reading the generation it pinned while ingestion proceeds;
+// with no snapshots open the write path pays only an atomic pin-count load
+// per mutation. Closing a snapshot releases its pins; a snapshot that is
+// garbage-collected without Close costs at most one extra detach per
+// relation (the pinned generation is dropped with it), after which the
+// fresh generations start unpinned again.
+
+// Snapshot is an immutable view of one committed engine state. It
+// enumerates with its own binding state, concurrently with Update and
+// ApplyBatch on the engine and with other snapshots; the Snapshot itself is
+// not safe for concurrent use — take one snapshot per reader goroutine.
+// Close it when done so the writer can stop preserving its generation.
+type Snapshot struct {
+	e      *Engine
+	epoch  uint64
+	work   int64
+	ctx    enumCtx
+	pinned []*relation.Relation // frozen handles to release on Close
+	closed bool
+}
+
+// Snapshot captures a read-only view of the current committed state. It
+// may be called from any goroutine; if a batch is in flight, it blocks
+// until the batch commits. The capture itself copies no tuples.
+func (e *Engine) Snapshot() *Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.preprocessed {
+		panic("core: Snapshot before Preprocess")
+	}
+	s := &Snapshot{e: e, epoch: e.epoch}
+	rels := make(map[*viewtree.Node]*relation.Relation)
+	frozen := make(map[*relation.Relation]*relation.Relation)
+	for _, tr := range e.forest.Trees() {
+		walkNodes(tr, func(n *viewtree.Node) {
+			live := e.relOf(n)
+			f, ok := frozen[live]
+			if !ok {
+				f = live.Freeze()
+				frozen[live] = f
+				s.pinned = append(s.pinned, f)
+			}
+			rels[n] = f
+		})
+	}
+	s.ctx = enumCtx{
+		e:     e,
+		bind:  make([]tuple.Value, len(e.vars)),
+		bound: make([]bool, len(e.vars)),
+		work:  &s.work,
+		rels:  rels,
+	}
+	return s
+}
+
+// Epoch identifies the committed state the snapshot observes: the number of
+// committed write operations at capture time (see Engine.Epoch).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Result opens an iterator over the snapshot's state. Unlike Engine.Result,
+// the iterator stays valid while the engine keeps updating.
+func (s *Snapshot) Result() *Iterator {
+	if s.closed {
+		panic("core: Result on a closed Snapshot")
+	}
+	return s.ctx.result()
+}
+
+// Enumerate calls yield for every distinct result tuple of the snapshot's
+// state with its multiplicity, stopping early if yield returns false.
+func (s *Snapshot) Enumerate(yield func(t tuple.Tuple, m int64) bool) {
+	it := s.Result()
+	defer it.Close()
+	for {
+		t, m, ok := it.Next()
+		if !ok {
+			return
+		}
+		if !yield(t, m) {
+			return
+		}
+	}
+}
+
+// Work returns the snapshot's cumulative enumeration-operation count (the
+// same machine-independent delay proxy as Engine.Work, but private to this
+// snapshot's readers).
+func (s *Snapshot) Work() int64 { return s.work }
+
+// Close releases the snapshot's pins on its relation generations, letting
+// the writer mutate them in place again. It is idempotent; the snapshot
+// must not be used afterwards.
+func (s *Snapshot) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, f := range s.pinned {
+		f.Release()
+	}
+	s.pinned = nil
+}

@@ -91,6 +91,10 @@ func (d *delta) add(t tuple.Tuple, m int64) {
 // minor and major rebalancing; the amortized cost is O(N^(δε))
 // (Proposition 27).
 func (e *Engine) Update(rel string, t tuple.Tuple, m int64) error {
+	// The writer lock orders the update against snapshot capture: a
+	// Snapshot sees the state before or after this update, never during.
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if !e.preprocessed {
 		return fmt.Errorf("core: Update before Preprocess")
 	}
@@ -119,6 +123,7 @@ func (e *Engine) Update(rel string, t tuple.Tuple, m int64) error {
 	}
 	e.stats.Updates++
 	e.flushWorkerStats()
+	e.epoch++ // commit point: publish the new state to future snapshots
 	return nil
 }
 

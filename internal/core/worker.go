@@ -3,7 +3,6 @@ package core
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"ivmeps/internal/tuple"
 )
@@ -28,16 +27,25 @@ import (
 //
 // Work is distributed as per-tree job groups: enqueue collects
 // (leafPath, delta) jobs grouped by the leaf's tree, and runJobs drains
-// whole groups, claiming group indexes with an atomic counter. Jobs within
-// a group run in enqueue order on a single worker, which preserves the
-// sequential batch semantics tree by tree; groups may interleave freely
-// because a phase's trees are independent.
+// whole groups. Assignment is static and deterministic: worker w of a
+// phase with W participants drains groups w, w+W, w+2W, … in enqueue
+// order. Determinism matters beyond reproducibility — per-worker scratch
+// (delta pools, aggregation maps) grows to fit the trees a worker drains,
+// so a deterministic assignment lets a warmed engine run parallel batches
+// allocation-free, where work-stealing would re-shuffle trees across
+// workers and occasionally grow a pool mid-measurement (the stray
+// pool-sizing allocs the bench gate used to tolerate). Jobs within a group
+// run in enqueue order on a single worker, which preserves the sequential
+// batch semantics tree by tree; groups may interleave freely because a
+// phase's trees are independent.
 //
 // The pool's goroutines are persistent (spawning per batch would allocate
-// on the hot path): they block on a task channel, and each phase sends one
-// reused *poolTask per helper. The pool deliberately holds no reference to
-// the Engine, so an abandoned engine remains collectible; a runtime cleanup
-// closes the pool if Close was never called.
+// on the hot path): each helper blocks on its own task channel — the
+// channel identity, not a shared queue, is what binds helper i to stride
+// offset i — and each phase sends one reused *poolTask per helper. The
+// pool deliberately holds no reference to the Engine, so an abandoned
+// engine remains collectible; a runtime cleanup closes the pool if Close
+// was never called.
 
 // workerState is one worker's mutable scratch for delta propagation.
 type workerState struct {
@@ -79,22 +87,19 @@ type propJob struct {
 	d  *delta
 }
 
-// poolTask describes one parallel phase. Workers claim per-tree job groups
-// by incrementing next; wg counts the helper goroutines still draining.
+// poolTask describes one parallel phase. Worker id drains groups
+// id, id+width, id+2·width, …; wg counts the helper goroutines still
+// draining.
 type poolTask struct {
 	jobs   [][]propJob // per-tree job groups (the engine's jobGroups)
 	groups []int       // indexes of the non-empty groups of this phase
-	next   atomic.Int64
+	width  int         // participating workers (helpers + the engine goroutine)
 	wg     sync.WaitGroup
 }
 
-// drain claims and propagates job groups until the task is exhausted.
-func (ws *workerState) drain(t *poolTask) {
-	for {
-		i := int(t.next.Add(1)) - 1
-		if i >= len(t.groups) {
-			return
-		}
+// drain propagates the job groups statically assigned to worker id.
+func (ws *workerState) drain(t *poolTask, id int) {
+	for i := id; i < len(t.groups); i += t.width {
 		for j := range t.jobs[t.groups[i]] {
 			jb := &t.jobs[t.groups[i]][j]
 			ws.propagatePath(jb.lp, jb.d)
@@ -107,27 +112,33 @@ func (ws *workerState) drain(t *poolTask) {
 // fire).
 type workerPool struct {
 	states []*workerState
-	tasks  chan *poolTask
-	task   poolTask // reused phase descriptor
+	tasks  []chan *poolTask // one channel per helper: helper i is stride offset i
+	task   poolTask         // reused phase descriptor
 }
 
 // newWorkerPool starts helpers persistent goroutines.
 func newWorkerPool(helpers, vars int) *workerPool {
-	p := &workerPool{tasks: make(chan *poolTask, helpers)}
+	p := &workerPool{}
 	for i := 0; i < helpers; i++ {
 		ws := newWorkerState(vars)
+		ch := make(chan *poolTask, 1)
 		p.states = append(p.states, ws)
-		go func() {
-			for t := range p.tasks {
-				ws.drain(t)
+		p.tasks = append(p.tasks, ch)
+		go func(id int) {
+			for t := range ch {
+				ws.drain(t, id)
 				t.wg.Done()
 			}
-		}()
+		}(i)
 	}
 	return p
 }
 
-func (p *workerPool) close() { close(p.tasks) }
+func (p *workerPool) close() {
+	for _, ch := range p.tasks {
+		close(ch)
+	}
+}
 
 // enqueue queues one propagation job on the leaf's tree group.
 func (e *Engine) enqueue(lp *leafPath, d *delta) {
@@ -191,16 +202,17 @@ func (e *Engine) runJobsParallel(groups []int) {
 	t := &e.pool.task
 	t.jobs = e.jobGroups
 	t.groups = groups
-	t.next.Store(0)
 	helpers := len(e.pool.states)
 	if helpers > len(groups)-1 {
 		helpers = len(groups) - 1
 	}
+	t.width = helpers + 1
 	t.wg.Add(helpers)
 	for i := 0; i < helpers; i++ {
-		e.pool.tasks <- t
+		e.pool.tasks[i] <- t
 	}
-	e.ws0.drain(t)
+	// The engine goroutine participates as the last stride offset.
+	e.ws0.drain(t, helpers)
 	t.wg.Wait()
 	t.jobs, t.groups = nil, nil
 	// All helpers are quiescent after Wait; fold their counters into the

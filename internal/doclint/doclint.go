@@ -1,0 +1,238 @@
+// Package doclint keeps the repository's documentation from rotting: it
+// checks that every relative link (and heading anchor) in the markdown
+// files resolves, and that every exported Go declaration carries a doc
+// comment. It runs as an ordinary test (`go test ./internal/doclint/`, or
+// `make docs-check`), so the CI docs job fails the moment ARCHITECTURE.md
+// points at a file that was renamed or a new exported API lands
+// undocumented.
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+// mdLink matches inline markdown links and images: [text](target) — the
+// target is captured without surrounding whitespace or a trailing title.
+var mdLink = regexp.MustCompile(`!?\[[^\]\n]*\]\(\s*<?([^)\s>]+)>?(?:\s+"[^"]*")?\s*\)`)
+
+var fencedBlock = regexp.MustCompile("(?s)```.*?```|~~~.*?~~~")
+
+// MarkdownFiles returns every .md file under root, skipping VCS and vendor
+// directories, relative to root.
+func MarkdownFiles(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "vendor", "node_modules", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			out = append(out, rel)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// anchorSlug converts a heading line to its GitHub-style anchor: lowercase,
+// spaces to hyphens, everything but letters, digits, hyphens, and
+// underscores dropped (GitHub preserves underscores — headings naming files
+// like BENCH_update.json anchor with them intact).
+func anchorSlug(heading string) string {
+	heading = strings.TrimSpace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsOf returns the set of heading anchors of a markdown document,
+// including the -1, -2 suffixes GitHub appends to duplicates.
+func anchorsOf(content string) map[string]bool {
+	out := map[string]bool{}
+	seen := map[string]int{}
+	for _, line := range strings.Split(fencedBlock.ReplaceAllString(content, ""), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(trimmed, "#")
+		if heading == trimmed || (heading != "" && heading[0] != ' ') {
+			continue // not a heading: no space after the #s (or no #s)
+		}
+		slug := anchorSlug(heading)
+		if n := seen[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		seen[slug]++
+	}
+	return out
+}
+
+// external reports whether a link target leaves the repository.
+func external(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "//")
+}
+
+// CheckMarkdownLinks verifies every relative link and anchor in every
+// markdown file under root, returning one human-readable complaint per
+// broken link.
+func CheckMarkdownLinks(root string) ([]string, error) {
+	files, err := MarkdownFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	anchors := map[string]map[string]bool{} // md file (rel) -> anchor set
+	contents := map[string]string{}
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(root, f))
+		if err != nil {
+			return nil, err
+		}
+		contents[f] = string(data)
+		anchors[f] = anchorsOf(string(data))
+	}
+	var complaints []string
+	for _, f := range files {
+		body := fencedBlock.ReplaceAllString(contents[f], "")
+		for _, m := range mdLink.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			if external(target) {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			if path == "" { // same-file anchor
+				if frag != "" && !anchors[f][frag] {
+					complaints = append(complaints, fmt.Sprintf("%s: broken anchor #%s", f, frag))
+				}
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(f), filepath.FromSlash(path))
+			abs := filepath.Join(root, resolved)
+			st, err := os.Stat(abs)
+			if err != nil {
+				complaints = append(complaints, fmt.Sprintf("%s: broken link %s (no such file)", f, target))
+				continue
+			}
+			if frag != "" {
+				if st.IsDir() {
+					complaints = append(complaints, fmt.Sprintf("%s: anchor on directory link %s", f, target))
+					continue
+				}
+				a, ok := anchors[filepath.ToSlash(resolved)]
+				if !ok {
+					// Anchor into a non-markdown file (e.g. source): cannot
+					// verify; GitHub renders these as plain files, so flag it.
+					complaints = append(complaints, fmt.Sprintf("%s: anchor into non-markdown file %s", f, target))
+					continue
+				}
+				if !a[frag] {
+					complaints = append(complaints, fmt.Sprintf("%s: broken anchor %s", f, target))
+				}
+			}
+		}
+	}
+	return complaints, nil
+}
+
+// CheckDocComments parses every non-test Go file under root and returns one
+// complaint per exported top-level declaration (functions, methods, types,
+// and var/const groups introducing exported names) that has no doc comment.
+func CheckDocComments(root string) ([]string, error) {
+	fset := token.NewFileSet()
+	var complaints []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "vendor", "node_modules", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for _, decl := range file.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Name.IsExported() && dd.Doc.Text() == "" {
+					complaints = append(complaints,
+						fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+							rel, fset.Position(dd.Pos()).Line, declKind(dd), dd.Name.Name))
+				}
+			case *ast.GenDecl:
+				if dd.Tok != token.TYPE && dd.Tok != token.VAR && dd.Tok != token.CONST {
+					continue
+				}
+				groupDoc := dd.Doc.Text() != ""
+				for _, spec := range dd.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && !groupDoc && sp.Doc.Text() == "" && sp.Comment.Text() == "" {
+							complaints = append(complaints,
+								fmt.Sprintf("%s:%d: exported type %s has no doc comment",
+									rel, fset.Position(sp.Pos()).Line, sp.Name.Name))
+						}
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							if name.IsExported() && !groupDoc && sp.Doc.Text() == "" && sp.Comment.Text() == "" {
+								complaints = append(complaints,
+									fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+										rel, fset.Position(sp.Pos()).Line, dd.Tok, name.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	return complaints, err
+}
+
+func declKind(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

@@ -1,0 +1,72 @@
+package doclint
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot resolves the repository root from this source file's location,
+// so the lint runs over the whole tree regardless of the test working
+// directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source file")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", ".."))
+}
+
+// Every relative markdown link and heading anchor in the repository must
+// resolve; this is the gate that keeps ARCHITECTURE.md's file pointers
+// current.
+func TestMarkdownLinks(t *testing.T) {
+	root := repoRoot(t)
+	files, err := MarkdownFiles(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("only %d markdown files found under %s — wrong root?", len(files), root)
+	}
+	complaints, err := CheckMarkdownLinks(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range complaints {
+		t.Error(c)
+	}
+}
+
+// Every exported declaration must carry a doc comment; godoc is part of the
+// documentation layer and silently undocumented API is how it rots.
+func TestDocComments(t *testing.T) {
+	complaints, err := CheckDocComments(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range complaints {
+		t.Error(c)
+	}
+}
+
+// Unit checks for the anchor slugger, pinned to GitHub's behavior.
+func TestAnchorSlug(t *testing.T) {
+	cases := map[string]string{
+		"## Batch worker model":              "batch-worker-model",
+		"# internal/relation":                "internalrelation",
+		"### What may differ, and what not!": "what-may-differ-and-what-not",
+		"## The ε trade-off":                 "the-ε-trade-off",
+		"## BENCH_update.json format":        "bench_updatejson-format",
+	}
+	for heading, want := range cases {
+		trimmed := heading
+		for len(trimmed) > 0 && (trimmed[0] == '#' || trimmed[0] == ' ') {
+			trimmed = trimmed[1:]
+		}
+		if got := anchorSlug(trimmed); got != want {
+			t.Errorf("anchorSlug(%q) = %q, want %q", heading, got, want)
+		}
+	}
+}

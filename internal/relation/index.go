@@ -19,13 +19,25 @@ import (
 // and emptied buckets are pooled, and fresh nodes, buckets, and bucket key
 // tuples come from slab arenas, so index maintenance costs amortized ~0
 // allocations even when previously unseen key values appear.
+//
+// Like Relation, Index is a stable handle over a swappable store: when a
+// pinned relation store is detached (copy-on-first-write, see the package
+// comment), every live Index handle is swapped onto the rebuilt index
+// store, so update plans and partitions may cache *Index pointers across
+// snapshot generations and major rebalances alike.
 type Index struct {
-	rel       *Relation
+	rel *Relation
+	s   *ixStore
+}
+
+// ixStore is one generation of an index's storage; it lives and dies with
+// its owning relStore.
+type ixStore struct {
 	keySchema tuple.Schema
 	proj      tuple.Projection
 	seed      uint64 // per-table hash seed
 	tab       oaTable[*bucket]
-	slot      int // position of this index in rel.indexes and Entry.nodes
+	slot      int // position of this index in relStore.indexes and Entry.nodes
 
 	keyT     tuple.Tuple // reusable projected-key buffer (mutating ops only)
 	freeNode *IndexNode  // freelist of removed nodes, linked via next
@@ -59,44 +71,58 @@ type IndexNode struct {
 // EnsureIndex returns the relation's index on keySchema, creating it (and
 // populating it from the current contents) if needed. keySchema must be a
 // subset of the relation's schema; comparison is order-sensitive only for
-// the key hashing, so callers should pass a canonical order.
+// the key hashing, so callers should pass a canonical order. Creating an
+// index on a frozen snapshot handle panics — freeze after the enumeration
+// indexes exist (internal/core builds them at materialization time).
 func (r *Relation) EnsureIndex(keySchema tuple.Schema) *Index {
-	for _, ix := range r.indexes {
-		if ix.keySchema.Equal(keySchema) {
-			return ix
+	for _, h := range r.hand {
+		if h.s.keySchema.Equal(keySchema) {
+			return h
 		}
+	}
+	if r.frozen {
+		panic(fmt.Sprintf("relation %s: EnsureIndex(%v) would create an index on a frozen snapshot", r.name, keySchema))
 	}
 	if !r.schema.ContainsAll(keySchema) {
 		panic(fmt.Sprintf("relation %s: index schema %v not contained in %v", r.name, keySchema, r.schema))
 	}
-	ix := &Index{
-		rel:       r,
+	if r.s.pins.Load() != 0 {
+		// Adding an index appends to every entry's back-pointer slots, which
+		// a pinned reader may be traversing; detach first.
+		r.detach(false)
+	}
+	s := r.s
+	ix := &ixStore{
 		keySchema: keySchema.Clone(),
 		proj:      tuple.MustProjection(r.schema, keySchema),
 		seed:      tuple.NewSeed(),
-		slot:      len(r.indexes),
+		slot:      len(s.indexes),
 	}
-	r.indexes = append(r.indexes, ix)
-	for e := r.head; e != nil; e = e.next {
-		ix.insert(e)
+	s.indexes = append(s.indexes, ix)
+	h := &Index{rel: r, s: ix}
+	r.hand = append(r.hand, h)
+	for e := s.head; e != nil; e = e.next {
+		ix.insert(e, s)
 	}
-	return ix
+	return h
 }
 
 // Index returns the existing index on keySchema, or nil.
 func (r *Relation) Index(keySchema tuple.Schema) *Index {
-	for _, ix := range r.indexes {
-		if ix.keySchema.Equal(keySchema) {
-			return ix
+	for _, h := range r.hand {
+		if h.s.keySchema.Equal(keySchema) {
+			return h
 		}
 	}
 	return nil
 }
 
 // KeySchema returns the index's key schema.
-func (ix *Index) KeySchema() tuple.Schema { return ix.keySchema }
+func (ix *Index) KeySchema() tuple.Schema { return ix.s.keySchema }
 
-func (ix *Index) insert(e *Entry) {
+// insert links e into the index. rs is the owning relation store (for the
+// shared node back-pointer arena).
+func (ix *ixStore) insert(e *Entry, rs *relStore) {
 	ix.keyT = ix.proj.AppendTo(ix.keyT[:0], e.Tuple)
 	h := tuple.Hash(ix.seed, ix.keyT)
 	b := ix.tab.get(h, ix.keyT)
@@ -116,7 +142,7 @@ func (ix *Index) insert(e *Entry) {
 	if cap(e.nodes) <= ix.slot {
 		// Move the back-pointer slots to an arena chunk sized for every
 		// current index of the relation.
-		fresh := ix.rel.slabNodes(len(ix.rel.indexes))
+		fresh := rs.slabNodes(len(rs.indexes))
 		copy(fresh, e.nodes)
 		e.nodes = fresh[:len(e.nodes)]
 	}
@@ -128,7 +154,7 @@ func (ix *Index) insert(e *Entry) {
 
 // newBucket takes a bucket from the freelist (reusing its key buffer) or
 // carves one out of the slab arenas; key is copied.
-func (ix *Index) newBucket(key tuple.Tuple, h uint64) *bucket {
+func (ix *ixStore) newBucket(key tuple.Tuple, h uint64) *bucket {
 	b := ix.freeBuck
 	if b != nil {
 		ix.freeBuck = b.freeNext
@@ -147,7 +173,7 @@ func (ix *Index) newBucket(key tuple.Tuple, h uint64) *bucket {
 }
 
 // slabKey copies key into a chunk of the index's value arena.
-func (ix *Index) slabKey(key tuple.Tuple) tuple.Tuple {
+func (ix *ixStore) slabKey(key tuple.Tuple) tuple.Tuple {
 	n := len(key)
 	if n == 0 {
 		return nil
@@ -162,7 +188,7 @@ func (ix *Index) slabKey(key tuple.Tuple) tuple.Tuple {
 }
 
 // newNode takes a node from the freelist or carves one out of the arena.
-func (ix *Index) newNode(e *Entry, b *bucket) *IndexNode {
+func (ix *ixStore) newNode(e *Entry, b *bucket) *IndexNode {
 	if n := ix.freeNode; n != nil {
 		ix.freeNode = n.next
 		n.entry, n.b, n.prev, n.next = e, b, nil, nil
@@ -177,7 +203,7 @@ func (ix *Index) newNode(e *Entry, b *bucket) *IndexNode {
 	return n
 }
 
-func (ix *Index) remove(e *Entry) {
+func (ix *ixStore) remove(e *Entry) {
 	n := e.nodes[ix.slot]
 	if n == nil {
 		return
@@ -207,7 +233,8 @@ func (ix *Index) remove(e *Entry) {
 
 // Count returns |σ_{S=key}R| in O(1), without allocating.
 func (ix *Index) Count(key tuple.Tuple) int {
-	if b := ix.tab.get(tuple.Hash(ix.seed, key), key); b != nil {
+	s := ix.s
+	if b := s.tab.get(tuple.Hash(s.seed, key), key); b != nil {
 		return b.count
 	}
 	return 0
@@ -217,12 +244,13 @@ func (ix *Index) Count(key tuple.Tuple) int {
 func (ix *Index) Has(key tuple.Tuple) bool { return ix.Count(key) > 0 }
 
 // DistinctKeys returns |π_S R| in O(1).
-func (ix *Index) DistinctKeys() int { return ix.tab.len() }
+func (ix *Index) DistinctKeys() int { return ix.s.tab.len() }
 
 // ForEachMatch calls fn on every entry of σ_{S=key}R with constant delay.
 // fn must not mutate the relation.
 func (ix *Index) ForEachMatch(key tuple.Tuple, fn func(t tuple.Tuple, m int64)) {
-	b := ix.tab.get(tuple.Hash(ix.seed, key), key)
+	s := ix.s
+	b := s.tab.get(tuple.Hash(s.seed, key), key)
 	if b == nil {
 		return
 	}
@@ -245,7 +273,8 @@ func (ix *Index) Matches(key tuple.Tuple) []Entry {
 // they give the constant-delay cursor used by the enumeration iterators.
 // It does not allocate.
 func (ix *Index) FirstMatch(key tuple.Tuple) *IndexNode {
-	if b := ix.tab.get(tuple.Hash(ix.seed, key), key); b != nil {
+	s := ix.s
+	if b := s.tab.get(tuple.Hash(s.seed, key), key); b != nil {
 		return b.head
 	}
 	return nil
@@ -260,7 +289,7 @@ func (n *IndexNode) Entry() *Entry { return n.entry }
 // ForEachKey calls fn on one representative (key, bucket-count) per
 // distinct key value, in unspecified order.
 func (ix *Index) ForEachKey(fn func(key tuple.Tuple, count int)) {
-	ix.tab.forEach(func(b *bucket) {
+	ix.s.tab.forEach(func(b *bucket) {
 		fn(b.key, b.count)
 	})
 }

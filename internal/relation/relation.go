@@ -26,6 +26,12 @@
 // projected key tuple — of doubly-linked pointer lists with back-pointers
 // stored on each entry, exactly the structure sketched in the paper.
 //
+// A Relation is a stable handle over a swappable store (relStore): all of
+// the storage above lives in the store, and mutators reach it through the
+// handle. Embedders may therefore cache *Relation and *Index pointers
+// forever; the handles never change identity even when the storage beneath
+// them is versioned (see Snapshots below).
+//
 // # Allocation
 //
 // Probes and multiplicity changes of existing entries are allocation-free.
@@ -37,14 +43,32 @@
 // hash tables' slot arrays, so a refill after Clear (major rebalancing)
 // allocates nothing.
 //
+// # Snapshots
+//
+// Freeze returns a read-only handle pinned to the relation's current store.
+// While any frozen handle is live (not yet Released), the first mutation of
+// the relation detaches the store: the writer copies the contents into a
+// fresh store, swaps the handle onto the copy, and mutates only the copy,
+// so every frozen reader keeps an immutable view of the exact contents it
+// pinned (copy-on-first-write per snapshot generation). Clear on a pinned
+// store swaps in an empty store instead of copying. The detach cost is
+// O(|R|·(1+indexes)) once per pinned generation; with no live freezes the
+// only overhead on the mutation path is one atomic pin-count load. Retired
+// stores are unreachable once the last frozen handle is dropped and are
+// reclaimed by the garbage collector.
+//
 // Relations are not safe for concurrent mutation, but the probe methods
 // (Mult, Contains, index Count/Has/FirstMatch/ForEachMatch) are read-only
 // and may run concurrently from any number of goroutines while the relation
-// is not being mutated.
+// is not being mutated — and a frozen handle may be read concurrently with
+// any mutation of the relation it was frozen from, provided the Freeze
+// itself was ordered before the mutation (internal/core orders them under
+// the engine's writer lock).
 package relation
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ivmeps/internal/tuple"
 )
@@ -55,9 +79,9 @@ type Entry struct {
 	Tuple tuple.Tuple
 	Mult  int64
 
-	hash       uint64 // cached tuple.Hash under the relation's seed
+	hash       uint64 // cached tuple.Hash under the store's seed
 	prev, next *Entry
-	// nodes[i] is this entry's node in the relation's i-th index
+	// nodes[i] is this entry's node in the store's i-th index
 	// (the back-pointers of the paper's deletion scheme).
 	nodes []*IndexNode
 }
@@ -70,23 +94,47 @@ func (e *Entry) keyTuple() tuple.Tuple { return e.Tuple }
 // time, amortizing cold-insert allocation to ~0 per entry.
 const entrySlab = 64
 
-// Relation is a multiset relation over a fixed schema, storing tuples with
-// strictly positive multiplicities. The zero multiplicity is represented by
-// absence. See the package comment for the storage layout.
-type Relation struct {
-	name    string
-	schema  tuple.Schema
+// relStore is one immutable-once-retired version of a relation's storage:
+// the entry table, the insertion-ordered entry list, the secondary index
+// stores, the freelists, and the slab arenas. The live store is mutated in
+// place through the Relation handle; a store pinned by Freeze is detached
+// (copy-on-first-write) before the next mutation and never written again.
+type relStore struct {
 	seed    uint64 // per-table hash seed
 	tab     oaTable[*Entry]
 	head    *Entry // insertion-ordered doubly-linked list
 	tail    *Entry
-	indexes []*Index
+	indexes []*ixStore
 	total   int64  // sum of multiplicities (for diagnostics)
 	free    *Entry // freelist of removed entries, linked via next
 
 	slabE []Entry       // arena of unused Entry structs
 	slabV []tuple.Value // arena backing fresh entry tuples
 	slabN []*IndexNode  // arena backing fresh entry node slots
+
+	// pins counts the live frozen handles reading this store. A writer
+	// checks it before mutating and detaches the store when it is non-zero;
+	// frozen handles decrement it on Release. It is the only field accessed
+	// from more than one goroutine.
+	pins atomic.Int32
+}
+
+// Relation is a multiset relation over a fixed schema, storing tuples with
+// strictly positive multiplicities. The zero multiplicity is represented by
+// absence. See the package comment for the storage layout and the
+// copy-on-write snapshot scheme.
+type Relation struct {
+	name   string
+	schema tuple.Schema
+	s      *relStore
+	// hand[i] is the stable Index handle over s.indexes[i]; detach swaps
+	// every handle onto the rebuilt index store so cached *Index pointers
+	// (update plans, partitions) stay valid.
+	hand []*Index
+	// frozen marks a read-only snapshot handle returned by Freeze: mutators
+	// panic, and Release drops its pin.
+	frozen   bool
+	released bool
 }
 
 // New creates an empty relation with the given name and schema.
@@ -97,7 +145,7 @@ func New(name string, schema tuple.Schema) *Relation {
 	return &Relation{
 		name:   name,
 		schema: schema.Clone(),
-		seed:   tuple.NewSeed(),
+		s:      &relStore{seed: tuple.NewSeed()},
 	}
 }
 
@@ -108,20 +156,22 @@ func (r *Relation) Name() string { return r.name }
 func (r *Relation) Schema() tuple.Schema { return r.schema }
 
 // Size returns |R|, the number of distinct stored tuples, in O(1).
-func (r *Relation) Size() int { return r.tab.len() }
+func (r *Relation) Size() int { return r.s.tab.len() }
 
 // TotalMultiplicity returns the sum of all multiplicities.
-func (r *Relation) TotalMultiplicity() int64 { return r.total }
+func (r *Relation) TotalMultiplicity() int64 { return r.s.total }
 
 // HashOf returns the hash of t under the relation's table seed, for use
-// with the *Hashed probe and update variants.
-func (r *Relation) HashOf(t tuple.Tuple) uint64 { return tuple.Hash(r.seed, t) }
+// with the *Hashed probe and update variants. The seed survives
+// copy-on-write detaches, so hashes stay valid across snapshot generations.
+func (r *Relation) HashOf(t tuple.Tuple) uint64 { return tuple.Hash(r.s.seed, t) }
 
 // Mult returns R(t): the multiplicity of t, or 0 if absent. It does not
 // allocate and is safe to call concurrently while the relation is not being
 // mutated.
 func (r *Relation) Mult(t tuple.Tuple) int64 {
-	if e := r.tab.get(tuple.Hash(r.seed, t), t); e != nil {
+	s := r.s
+	if e := s.tab.get(tuple.Hash(s.seed, t), t); e != nil {
 		return e.Mult
 	}
 	return 0
@@ -130,7 +180,7 @@ func (r *Relation) Mult(t tuple.Tuple) int64 {
 // MultHashed is Mult with the hash precomputed via HashOf, for embedders
 // that batch probes of one tuple.
 func (r *Relation) MultHashed(h uint64, t tuple.Tuple) int64 {
-	if e := r.tab.get(h, t); e != nil {
+	if e := r.s.tab.get(h, t); e != nil {
 		return e.Mult
 	}
 	return 0
@@ -148,6 +198,7 @@ type ErrNegative struct {
 	Delta    int64
 }
 
+// Error formats the rejected delete.
 func (e *ErrNegative) Error() string {
 	return fmt.Sprintf("relation %s: delete of %v with multiplicity %d exceeds stored multiplicity %d",
 		e.Relation, e.Tuple, -e.Delta, e.Have)
@@ -164,10 +215,16 @@ func (r *Relation) Add(t tuple.Tuple, m int64) error {
 	if m == 0 {
 		return nil
 	}
+	if r.frozen {
+		panic(fmt.Sprintf("relation %s: mutation of a frozen snapshot handle", r.name))
+	}
 	if len(t) != len(r.schema) {
 		return r.arityError(t)
 	}
-	return r.addHashed(t, tuple.Hash(r.seed, t), m)
+	if r.s.pins.Load() != 0 {
+		r.detach(false)
+	}
+	return r.addHashed(t, tuple.Hash(r.s.seed, t), m)
 }
 
 // arityError builds the arity-mismatch error away from the Add hot path:
@@ -185,88 +242,96 @@ func (r *Relation) AddHashed(t tuple.Tuple, h uint64, m int64) error {
 	if m == 0 {
 		return nil
 	}
+	if r.frozen {
+		panic(fmt.Sprintf("relation %s: mutation of a frozen snapshot handle", r.name))
+	}
 	if len(t) != len(r.schema) {
 		return r.arityError(t)
+	}
+	if r.s.pins.Load() != 0 {
+		r.detach(false)
 	}
 	return r.addHashed(t, h, m)
 }
 
-// addHashed is the shared body of Add and AddHashed.
+// addHashed is the shared body of Add and AddHashed. The caller has already
+// detached a pinned store.
 func (r *Relation) addHashed(t tuple.Tuple, h uint64, m int64) error {
-	e := r.tab.get(h, t)
+	s := r.s
+	e := s.tab.get(h, t)
 	if e == nil {
 		if m < 0 {
 			return &ErrNegative{Relation: r.name, Tuple: t.Clone(), Have: 0, Delta: m}
 		}
-		e = r.newEntry(t, m)
+		e = s.newEntry(t, m)
 		e.hash = h
-		r.tab.put(h, e)
-		r.linkEntry(e)
-		for _, ix := range r.indexes {
-			ix.insert(e)
+		s.tab.put(h, e)
+		s.linkEntry(e)
+		for _, ix := range s.indexes {
+			ix.insert(e, s)
 		}
-		r.total += m
+		s.total += m
 		return nil
 	}
 	if e.Mult+m < 0 {
 		return &ErrNegative{Relation: r.name, Tuple: t.Clone(), Have: e.Mult, Delta: m}
 	}
 	e.Mult += m
-	r.total += m
+	s.total += m
 	if e.Mult == 0 {
-		r.tab.del(e.hash, e)
-		r.unlinkEntry(e)
-		for _, ix := range r.indexes {
+		s.tab.del(e.hash, e)
+		s.unlinkEntry(e)
+		for _, ix := range s.indexes {
 			ix.remove(e)
 		}
-		e.next = r.free
-		r.free = e
+		e.next = s.free
+		s.free = e
 	}
 	return nil
 }
 
 // newEntry takes an entry from the freelist (reusing its tuple buffer and
 // index back-pointer slots) or carves a fresh one out of the slab arenas.
-func (r *Relation) newEntry(t tuple.Tuple, m int64) *Entry {
-	if e := r.free; e != nil {
-		r.free = e.next
+func (s *relStore) newEntry(t tuple.Tuple, m int64) *Entry {
+	if e := s.free; e != nil {
+		s.free = e.next
 		e.next = nil
 		e.Tuple = append(e.Tuple[:0], t...)
 		e.Mult = m
 		return e
 	}
-	if len(r.slabE) == 0 {
-		r.slabE = make([]Entry, entrySlab)
+	if len(s.slabE) == 0 {
+		s.slabE = make([]Entry, entrySlab)
 	}
-	e := &r.slabE[0]
-	r.slabE = r.slabE[1:]
-	e.Tuple = r.slabTuple(t)
+	e := &s.slabE[0]
+	s.slabE = s.slabE[1:]
+	e.Tuple = s.slabTuple(t)
 	e.Mult = m
 	return e
 }
 
-// slabTuple copies t into a chunk of the relation's value arena.
-func (r *Relation) slabTuple(t tuple.Tuple) tuple.Tuple {
+// slabTuple copies t into a chunk of the store's value arena.
+func (s *relStore) slabTuple(t tuple.Tuple) tuple.Tuple {
 	n := len(t)
 	if n == 0 {
 		return nil
 	}
-	if len(r.slabV) < n {
-		r.slabV = make([]tuple.Value, n*entrySlab)
+	if len(s.slabV) < n {
+		s.slabV = make([]tuple.Value, n*entrySlab)
 	}
-	out := r.slabV[:n:n]
-	r.slabV = r.slabV[n:]
+	out := s.slabV[:n:n]
+	s.slabV = s.slabV[n:]
 	copy(out, t)
 	return out
 }
 
 // slabNodes returns an n-slot node back-pointer chunk from the node arena.
-func (r *Relation) slabNodes(n int) []*IndexNode {
-	if len(r.slabN) < n {
-		r.slabN = make([]*IndexNode, n*entrySlab)
+func (s *relStore) slabNodes(n int) []*IndexNode {
+	if len(s.slabN) < n {
+		s.slabN = make([]*IndexNode, n*entrySlab)
 	}
-	out := r.slabN[:n:n]
-	r.slabN = r.slabN[n:]
+	out := s.slabN[:n:n]
+	s.slabN = s.slabN[n:]
 	return out
 }
 
@@ -281,20 +346,111 @@ func (r *Relation) MustAdd(t tuple.Tuple, m int64) {
 // Set forces the multiplicity of t to m ≥ 0 (0 deletes). The tuple is
 // hashed once for both the read and the write.
 func (r *Relation) Set(t tuple.Tuple, m int64) {
-	h := tuple.Hash(r.seed, t)
+	h := tuple.Hash(r.s.seed, t)
 	cur := r.MultHashed(h, t)
 	if err := r.AddHashed(t, h, m-cur); err != nil {
 		panic(err)
 	}
 }
 
+// Freeze returns a read-only handle pinned to the relation's current
+// contents. The handle observes exactly the state at the time of the call,
+// no matter how the relation is mutated afterwards (the first mutation
+// copies the contents aside — see the package comment). Call Release when
+// done reading so the writer can stop preserving this generation. The
+// caller must order Freeze before any concurrent mutation (internal/core
+// uses the engine writer lock); the returned handle itself may then be read
+// from any goroutine not calling its methods concurrently.
+func (r *Relation) Freeze() *Relation {
+	s := r.s
+	s.pins.Add(1)
+	f := &Relation{name: r.name, schema: r.schema, s: s, frozen: true}
+	f.hand = make([]*Index, len(s.indexes))
+	for i, ix := range s.indexes {
+		f.hand[i] = &Index{rel: f, s: ix}
+	}
+	return f
+}
+
+// Frozen reports whether r is a read-only handle returned by Freeze.
+func (r *Relation) Frozen() bool { return r.frozen }
+
+// Release drops a frozen handle's pin on its store, allowing the writer to
+// mutate that generation in place again (if no other pins remain). The
+// handle must not be used after Release. Releasing twice or releasing a
+// non-frozen relation panics.
+func (r *Relation) Release() {
+	if !r.frozen {
+		panic("relation: Release of a non-frozen relation")
+	}
+	if r.released {
+		panic("relation: Release called twice")
+	}
+	r.released = true
+	r.s.pins.Add(-1)
+}
+
+// detach performs the copy-on-first-write: it retires the pinned store to
+// its frozen readers and installs a fresh store for the writer — a full
+// copy of the contents (entries in insertion order, every index rebuilt),
+// or an empty store with the same index definitions when the caller is
+// about to Clear. Index handles are swapped onto the rebuilt index stores,
+// so cached *Index pointers stay valid. The retired store is never written
+// again.
+func (r *Relation) detach(empty bool) {
+	if r.frozen {
+		panic(fmt.Sprintf("relation %s: mutation of a frozen snapshot handle", r.name))
+	}
+	old := r.s
+	s := &relStore{seed: old.seed}
+	s.indexes = make([]*ixStore, len(old.indexes))
+	for i, oix := range old.indexes {
+		nix := &ixStore{
+			keySchema: oix.keySchema,
+			proj:      oix.proj,
+			seed:      oix.seed,
+			slot:      oix.slot,
+		}
+		if !empty {
+			nix.tab.reserve(oix.tab.len())
+		}
+		s.indexes[i] = nix
+		r.hand[i].s = nix
+	}
+	r.s = s
+	if empty {
+		return
+	}
+	s.tab.reserve(old.tab.len())
+	for e := old.head; e != nil; e = e.next {
+		ne := s.newEntry(e.Tuple, e.Mult)
+		ne.hash = e.hash // same seed: cached hashes stay valid
+		s.tab.put(ne.hash, ne)
+		s.linkEntry(ne)
+		for _, ix := range s.indexes {
+			ix.insert(ne, s)
+		}
+	}
+	s.total = old.total
+}
+
 // Clear removes all tuples (and empties all indexes) while keeping the
 // index definitions. Entries, index nodes, and buckets are recycled onto
 // the freelists and the hash tables keep their slot arrays, so a refill
 // after Clear (e.g. re-materializing a view during major rebalancing)
-// allocates nothing.
+// allocates nothing. On a store pinned by a live Freeze, Clear instead
+// swaps in a fresh empty store (the pinned generation keeps its contents),
+// and the following refill re-grows the new store's tables.
 func (r *Relation) Clear() {
-	for _, ix := range r.indexes {
+	if r.frozen {
+		panic(fmt.Sprintf("relation %s: Clear of a frozen snapshot handle", r.name))
+	}
+	if r.s.pins.Load() != 0 {
+		r.detach(true)
+		return
+	}
+	s := r.s
+	for _, ix := range s.indexes {
 		ix.tab.forEach(func(b *bucket) {
 			b.head, b.tail, b.count = nil, nil, 0
 			b.freeNext = ix.freeBuck
@@ -303,53 +459,53 @@ func (r *Relation) Clear() {
 		ix.tab.clear()
 	}
 	var next *Entry
-	for e := r.head; e != nil; e = next {
+	for e := s.head; e != nil; e = next {
 		next = e.next
 		for i, n := range e.nodes {
 			if n == nil {
 				continue
 			}
 			n.entry, n.b, n.prev = nil, nil, nil
-			n.next = r.indexes[i].freeNode
-			r.indexes[i].freeNode = n
+			n.next = s.indexes[i].freeNode
+			s.indexes[i].freeNode = n
 			e.nodes[i] = nil
 		}
 		e.prev = nil
-		e.next = r.free
-		r.free = e
+		e.next = s.free
+		s.free = e
 	}
-	r.tab.clear()
-	r.head, r.tail = nil, nil
-	r.total = 0
+	s.tab.clear()
+	s.head, s.tail = nil, nil
+	s.total = 0
 }
 
-func (r *Relation) linkEntry(e *Entry) {
-	e.prev = r.tail
+func (s *relStore) linkEntry(e *Entry) {
+	e.prev = s.tail
 	e.next = nil
-	if r.tail != nil {
-		r.tail.next = e
+	if s.tail != nil {
+		s.tail.next = e
 	} else {
-		r.head = e
+		s.head = e
 	}
-	r.tail = e
+	s.tail = e
 }
 
-func (r *Relation) unlinkEntry(e *Entry) {
+func (s *relStore) unlinkEntry(e *Entry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
-		r.head = e.next
+		s.head = e.next
 	}
 	if e.next != nil {
 		e.next.prev = e.prev
 	} else {
-		r.tail = e.prev
+		s.tail = e.prev
 	}
 	e.prev, e.next = nil, nil
 }
 
 // First returns the first entry in insertion order, or nil if empty.
-func (r *Relation) First() *Entry { return r.head }
+func (r *Relation) First() *Entry { return r.s.head }
 
 // Next returns the entry after e in insertion order, or nil.
 func (r *Relation) Next(e *Entry) *Entry { return e.next }
@@ -357,7 +513,7 @@ func (r *Relation) Next(e *Entry) *Entry { return e.next }
 // ForEach calls fn on every entry in insertion order. fn must not mutate
 // the relation.
 func (r *Relation) ForEach(fn func(t tuple.Tuple, m int64)) {
-	for e := r.head; e != nil; e = e.next {
+	for e := r.s.head; e != nil; e = e.next {
 		fn(e.Tuple, e.Mult)
 	}
 }
@@ -365,7 +521,7 @@ func (r *Relation) ForEach(fn func(t tuple.Tuple, m int64)) {
 // ForEachUntil calls fn on every entry in insertion order until fn returns
 // false. fn must not mutate the relation.
 func (r *Relation) ForEachUntil(fn func(t tuple.Tuple, m int64) bool) {
-	for e := r.head; e != nil; e = e.next {
+	for e := r.s.head; e != nil; e = e.next {
 		if !fn(e.Tuple, e.Mult) {
 			return
 		}
@@ -375,8 +531,8 @@ func (r *Relation) ForEachUntil(fn func(t tuple.Tuple, m int64) bool) {
 // Entries returns a snapshot slice of (tuple, multiplicity) pairs in
 // insertion order; intended for tests and small relations.
 func (r *Relation) Entries() []Entry {
-	out := make([]Entry, 0, r.tab.len())
-	for e := r.head; e != nil; e = e.next {
+	out := make([]Entry, 0, r.s.tab.len())
+	for e := r.s.head; e != nil; e = e.next {
 		out = append(out, Entry{Tuple: e.Tuple.Clone(), Mult: e.Mult})
 	}
 	return out
@@ -386,7 +542,7 @@ func (r *Relation) Entries() []Entry {
 // copied; add them on the clone as needed).
 func (r *Relation) Clone() *Relation {
 	out := New(r.name, r.schema)
-	for e := r.head; e != nil; e = e.next {
+	for e := r.s.head; e != nil; e = e.next {
 		out.MustAdd(e.Tuple, e.Mult)
 	}
 	return out
@@ -396,7 +552,7 @@ func (r *Relation) Clone() *Relation {
 func (r *Relation) String() string {
 	s := r.name + r.schema.String() + "{"
 	first := true
-	for e := r.head; e != nil; e = e.next {
+	for e := r.s.head; e != nil; e = e.next {
 		if !first {
 			s += ", "
 		}

@@ -100,6 +100,23 @@ func (t *oaTable[V]) del(h uint64, v V) {
 	t.count--
 }
 
+// reserve sizes an empty table's slot array so that n values fit without
+// growing (used when rebuilding a detached store from a known-size source).
+func (t *oaTable[V]) reserve(n int) {
+	if n == 0 || t.count > 0 {
+		return
+	}
+	slots := oaMinSlots
+	for slots*3/4 <= n {
+		slots *= 2
+	}
+	if slots <= len(t.slots) {
+		return
+	}
+	t.slots = make([]oaSlot[V], slots)
+	t.mask = uint64(slots - 1)
+}
+
 // clear empties the table, keeping the slot array for reuse.
 func (t *oaTable[V]) clear() {
 	if t.count > 0 {

@@ -22,10 +22,13 @@ import (
 type Mode int
 
 const (
+	// Static builds evaluation-only trees (Section 4): no update support.
 	Static Mode = iota
+	// Dynamic adds the auxiliary views needed for constant-time deltas.
 	Dynamic
 )
 
+// String names the mode for diagnostics.
 func (m Mode) String() string {
 	if m == Static {
 		return "static"

@@ -16,15 +16,18 @@
 // Free-connex queries get O(N) preprocessing and O(1) delay at every ε;
 // q-hierarchical queries additionally get O(1) updates (δ = 0).
 //
-// Basic use:
+// Basic use (every line below compiles as shown, given `q`'s relations):
 //
 //	q, _ := ivmeps.ParseQuery("Q(A, C) = R(A, B), S(B, C)")
 //	e, _ := ivmeps.New(q, ivmeps.Options{Epsilon: 0.5})
-//	e.Load("R", [][]int64{{1, 10}, {2, 10}}...)
-//	e.Load("S", [][]int64{{10, 7}}...)
-//	e.Build()
-//	e.Insert("R", []int64{3, 10})
-//	e.Enumerate(func(row []int64, mult int64) bool { ...; return true })
+//	_ = e.Load("R", []int64{1, 10}, []int64{2, 10})
+//	_ = e.Load("S", []int64{10, 7})
+//	_ = e.Build()
+//	_ = e.Insert("R", []int64{3, 10})
+//	e.Enumerate(func(row []int64, mult int64) bool {
+//		fmt.Println(row, mult)
+//		return true
+//	})
 //
 // The update path is engineered for sustained traffic: the propagation
 // routes from every relation to every affected view are precomputed at
@@ -42,13 +45,29 @@
 // and larger values are honored as given. Each worker owns its scratch
 // state (binding slots, delta pools, key-encoding buffers), so steady-state
 // propagation stays allocation-free per worker, and parallel sections only
-// ever write views of distinct trees while reading a frozen snapshot of
-// the relations shared across trees. The final engine state is identical to
+// ever write views of distinct trees while reading a frozen view of the
+// relations shared across trees. The final engine state is identical to
 // the sequential batch result for every worker count; only the wall-clock
 // interleaving differs. Engines are still single-writer: ApplyBatch
-// parallelizes internally, but callers must not invoke engine methods
-// concurrently. Call Close to release the pool when discarding an engine
-// early; a garbage-collected engine releases it automatically.
+// parallelizes internally, but write methods (Apply, ApplyBatch,
+// Insert, Delete) must not be invoked concurrently with each other. Call
+// Close to release the pool when discarding an engine early; a
+// garbage-collected engine releases it automatically.
+//
+// # Snapshots
+//
+// Readers do not block the writer. Snapshot captures the current committed
+// state in O(#views) — no data is copied up front — and the returned
+// Snapshot enumerates that state concurrently with Apply and ApplyBatch:
+// when the writer first mutates a relation some live snapshot pins, it
+// detaches the storage copy-on-write, so the snapshot keeps its view while
+// ingestion proceeds. A snapshot taken while a batch is in flight blocks
+// until the batch commits and then observes the post-batch state; it never
+// observes a half-applied batch. Enumerate takes (and closes) an implicit
+// snapshot per call, so bare Enumerate is always safe concurrently with
+// updates and with other readers; hold an explicit Snapshot to make several
+// reads observe one state, and Close it promptly — an open snapshot makes
+// the writer copy each relation it touches once per snapshot generation.
 package ivmeps
 
 import (
@@ -273,14 +292,58 @@ func (e *Engine) Close() { e.e.Close() }
 // variables, in head order) with its multiplicity, with O(N^(1−ε)) delay.
 // The row slice is reused between calls; copy it to retain. Return false to
 // stop early.
+//
+// Enumerate takes an implicit Snapshot for the duration of the call, so it
+// observes one committed state and is safe to call from any goroutine,
+// concurrently with Apply/ApplyBatch and with other readers. To make
+// several reads observe the same state, take an explicit Snapshot instead.
 func (e *Engine) Enumerate(yield func(row []int64, mult int64) bool) {
-	e.e.Enumerate(func(t tuple.Tuple, m int64) bool { return yield(t, m) })
+	s, err := e.Snapshot()
+	if err != nil {
+		panic(err) // Enumerate before Build, matching the former behavior
+	}
+	defer s.Close()
+	s.Enumerate(yield)
 }
 
-// Rows materializes the full result as (row, multiplicity) pairs; intended
-// for small results and tests.
-func (e *Engine) Rows() (rows [][]int64, mults []int64) {
-	e.Enumerate(func(row []int64, m int64) bool {
+// Snapshot captures the current committed state for concurrent reading:
+// the returned Snapshot enumerates that exact state no matter how the
+// engine is updated afterwards, without blocking the writer (see the
+// package documentation). Snapshot may be called from any goroutine; if a
+// batch is in flight it blocks until the batch commits. The Snapshot
+// itself is not safe for concurrent use — take one per reader goroutine
+// (they share storage). Close it when done.
+func (e *Engine) Snapshot() (*Snapshot, error) {
+	if !e.built {
+		return nil, fmt.Errorf("ivmeps: Snapshot before Build")
+	}
+	return &Snapshot{s: e.e.Snapshot()}, nil
+}
+
+// Snapshot is an immutable view of one committed engine state, enumerable
+// concurrently with updates to the engine it came from. See
+// Engine.Snapshot.
+type Snapshot struct {
+	s *core.Snapshot
+}
+
+// Epoch identifies the committed state the snapshot observes: the number
+// of committed write operations (Build counts as the first) at capture
+// time. Two snapshots with equal epochs observe identical states.
+func (s *Snapshot) Epoch() uint64 { return s.s.Epoch() }
+
+// Enumerate yields every distinct result tuple of the snapshot's state
+// with its multiplicity, in head order, with the same delay guarantee as
+// Engine.Enumerate. The row slice is reused between calls; copy it to
+// retain. Return false to stop early.
+func (s *Snapshot) Enumerate(yield func(row []int64, mult int64) bool) {
+	s.s.Enumerate(func(t tuple.Tuple, m int64) bool { return yield(t, m) })
+}
+
+// Rows materializes the snapshot's full result as (row, multiplicity)
+// pairs; intended for small results and tests.
+func (s *Snapshot) Rows() (rows [][]int64, mults []int64) {
+	s.Enumerate(func(row []int64, m int64) bool {
 		c := make([]int64, len(row))
 		copy(c, row)
 		rows = append(rows, c)
@@ -290,11 +353,39 @@ func (e *Engine) Rows() (rows [][]int64, mults []int64) {
 	return rows, mults
 }
 
-// Count returns the number of distinct result tuples (by enumeration).
-func (e *Engine) Count() int {
+// Count returns the number of distinct result tuples in the snapshot's
+// state (by enumeration).
+func (s *Snapshot) Count() int {
 	n := 0
-	e.Enumerate(func([]int64, int64) bool { n++; return true })
+	s.Enumerate(func([]int64, int64) bool { n++; return true })
 	return n
+}
+
+// Close releases the snapshot, letting the writer stop preserving its
+// generation. It is idempotent; the snapshot must not be used afterwards.
+func (s *Snapshot) Close() { s.s.Close() }
+
+// Rows materializes the full result as (row, multiplicity) pairs; intended
+// for small results and tests. Like Enumerate, it reads one committed
+// state via an implicit snapshot.
+func (e *Engine) Rows() (rows [][]int64, mults []int64) {
+	s, err := e.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	return s.Rows()
+}
+
+// Count returns the number of distinct result tuples (by enumeration of an
+// implicit snapshot).
+func (e *Engine) Count() int {
+	s, err := e.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	return s.Count()
 }
 
 // N returns the current database size: the total number of distinct tuples
