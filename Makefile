@@ -9,7 +9,7 @@ GO ?= go
 # and the parallel-batch worker sweep. Keep in sync with BENCH_update.json.
 BENCH_RE = Update|Batch|Parallel
 
-.PHONY: check test vet bench bench-fresh diff-allocs diff-time bench-check bench-check-allocs docs-check bench-all
+.PHONY: check test vet bench bench-fresh diff-allocs diff-time bench-check bench-check-allocs docs-check api-check api-update bench-all
 
 check: vet test
 
@@ -66,6 +66,17 @@ bench-check-allocs: bench-fresh
 docs-check:
 	$(GO) test ./internal/doclint/
 	$(GO) vet ./...
+
+# API-surface lock: diff the exported API of the public package against the
+# committed golden dump (internal/apilock/ivmeps.golden). Fails whenever
+# the public surface changes; if the change is intended, regenerate the
+# golden with `make api-update` and commit it with the change.
+api-check:
+	$(GO) test ./internal/apilock/
+
+api-update:
+	$(GO) test ./internal/apilock/ -run TestAPILock -update
+	@echo regenerated internal/apilock/ivmeps.golden
 
 # Full experiment sweep (slow); see cmd/hiqbench for options.
 bench-all:

@@ -1,0 +1,89 @@
+package ivmeps
+
+import (
+	"fmt"
+
+	"ivmeps/internal/core"
+)
+
+// Batch collects single-tuple updates — inserts, deletes, weighted applies
+// — across any of the engine's relations, for Engine.Commit to apply as one
+// atomic maintenance commit. The zero Batch obtained from Engine.NewBatch
+// is empty; the builder methods never fail (validation happens in Commit)
+// and return the batch for chaining:
+//
+//	b := e.NewBatch()
+//	b.Insert("R", []int64{1, 10})
+//	b.Delete("S", []int64{10, 7})
+//	b.Apply("R", []int64{2, 10}, -2)
+//	err := e.Commit(b)
+//
+// Row slices are referenced, not copied: they must not be mutated until
+// Commit returns. Commit leaves the batch intact — Reset it to start the
+// next batch reusing its storage (the steady-state Reset/refill/Commit
+// cycle performs no heap allocation), or Commit it again to re-apply the
+// same updates. A Batch is not safe for concurrent use.
+type Batch struct {
+	e   *Engine
+	ops []core.BatchOp
+}
+
+// NewBatch returns an empty update batch for this engine. The batch may be
+// built before or after Build, but only committed after.
+func (e *Engine) NewBatch() *Batch { return &Batch{e: e} }
+
+// Insert queues the single-tuple insert {row → +1} against rel.
+func (b *Batch) Insert(rel string, row []int64) *Batch { return b.Apply(rel, row, 1) }
+
+// Delete queues the single-tuple delete {row → −1} against rel. Deletes
+// may exceed the stored multiplicity only if earlier ops of the same batch
+// cover the difference; otherwise Commit rejects the whole batch with a
+// MultiplicityError.
+func (b *Batch) Delete(rel string, row []int64) *Batch { return b.Apply(rel, row, -1) }
+
+// Apply queues the single-tuple update {row → mult} against rel: positive
+// to insert, negative to delete. A zero mult contributes nothing but is
+// still validated by Commit (relation and arity).
+func (b *Batch) Apply(rel string, row []int64, mult int64) *Batch {
+	b.ops = append(b.ops, core.BatchOp{Rel: rel, Row: row, Mult: mult})
+	return b
+}
+
+// Len returns the number of queued updates.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset empties the batch for reuse, keeping its storage (and dropping the
+// references to previously queued rows).
+func (b *Batch) Reset() {
+	clear(b.ops)
+	b.ops = b.ops[:0]
+}
+
+// Commit applies the batch as one atomic maintenance commit: every queued
+// update is validated up front — in order, counting the effect of earlier
+// ops of the batch — and on any error (ErrUnknownRelation, ArityError,
+// MultiplicityError) the engine is left completely unchanged; no partial
+// prefix is ever applied, across relations as within one. On success the
+// batch commits as a single maintenance pass: per touched relation the
+// updates aggregate into one delta per view-tree leaf, every view tree is
+// walked once per (batch, relation) on the engine's worker pool
+// (Options.Workers), and the whole commit publishes one snapshot epoch — a
+// concurrent Snapshot observes all of the batch or none of it.
+//
+// The observable result — the enumerated query output, N, and the
+// maintenance invariants — is identical to applying the same updates in
+// order with Apply; the amortized cost per row is what ApplyBatch provides,
+// now across relations. Commit does not consume the batch; Reset it before
+// building the next one.
+func (e *Engine) Commit(b *Batch) error {
+	if !e.built {
+		return fmt.Errorf("ivmeps: Commit: %w (call Build first)", ErrNotBuilt)
+	}
+	if b == nil {
+		return nil // like an empty batch: nothing to commit
+	}
+	if b.e != e {
+		return fmt.Errorf("ivmeps: Commit: batch was created by a different engine")
+	}
+	return wrapErr(e.e.CommitBatch(b.ops))
+}

@@ -604,3 +604,95 @@ func BenchmarkParallelBatch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMultiRelationBatch measures the multi-relation commit path on a
+// mixed ingest stream that round-robins across three relations (S, T, V of
+// the five-relation multi-tree query) — the relation-switch-per-op worst
+// case for the commit's relation resolution. One op here is one queued
+// single-tuple update; each iteration commits a 9000-op batch and its
+// inverse (keeping the database bounded), as one CommitBatch each. Compare
+// against BenchmarkBatchVsSequential/sequential for the per-op win over
+// row-by-row Update, and across the workers= variants for the pool
+// scaling; allocs/op is pinned at 0 by the CI bench gate.
+func BenchmarkMultiRelationBatch(b *testing.B) {
+	const opsPerRel = 3000
+	q := query.MustParse("Q(C, E) = R(A), S(A, B), T(A, B, C), U(A, D), V(A, D, E)")
+	multiTreeDB := func(rng *rand.Rand, n int) naive.Database {
+		db := naive.Database{}
+		for _, a := range q.Atoms {
+			r := relation.New(a.Rel, a.Vars)
+			for i := 0; i < n; i++ {
+				t := make(tuple.Tuple, len(a.Vars))
+				t[0] = rng.Int63n(int64(n) / 8) // shared A: skewed enough to split
+				for j := 1; j < len(t); j++ {
+					t[j] = rng.Int63n(int64(n))
+				}
+				r.Set(t, 1)
+			}
+			db[a.Rel] = r
+		}
+		return db
+	}
+	for _, workers := range []int{1, 0, 2, 4} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=auto"
+		}
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(83))
+			e, err := core.New(q, core.Options{Mode: viewtree.Dynamic, Epsilon: 0.5, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := core.Preprocess(e, multiTreeDB(rng, benchN)); err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			// Fresh-tuple pools per relation, interleaved S,T,V per op so
+			// every op switches relations; the inverse batch reverses the
+			// stream with negated multiplicities.
+			sPool := make([]tuple.Tuple, 2000)
+			tPool := make([]tuple.Tuple, 2000)
+			vPool := make([]tuple.Tuple, 2000)
+			for i := range sPool {
+				a := rng.Int63n(benchN / 8)
+				sPool[i] = tuple.Tuple{a, 1_000_000 + int64(i)}
+				tPool[i] = tuple.Tuple{a, rng.Int63n(benchN), 2_000_000 + int64(i)}
+				vPool[i] = tuple.Tuple{a, rng.Int63n(benchN), 3_000_000 + int64(i)}
+			}
+			ops := make([]core.BatchOp, 0, 3*opsPerRel)
+			for i := 0; i < opsPerRel; i++ {
+				ops = append(ops,
+					core.BatchOp{Rel: "S", Row: sPool[rng.Intn(len(sPool))], Mult: 1},
+					core.BatchOp{Rel: "T", Row: tPool[rng.Intn(len(tPool))], Mult: 1},
+					core.BatchOp{Rel: "V", Row: vPool[rng.Intn(len(vPool))], Mult: 1},
+				)
+			}
+			inv := make([]core.BatchOp, len(ops))
+			for i, op := range ops {
+				inv[len(inv)-1-i] = core.BatchOp{Rel: op.Rel, Row: op.Row, Mult: -1}
+			}
+			// Warm up outside the timer (pool spawn, scratch sizing); the
+			// static group→worker assignment makes the measured steady state
+			// deterministically allocation-free.
+			for i := 0; i < 2; i++ {
+				if err := e.CommitBatch(ops); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.CommitBatch(inv); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.CommitBatch(ops); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.CommitBatch(inv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

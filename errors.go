@@ -1,0 +1,88 @@
+package ivmeps
+
+import (
+	"errors"
+	"fmt"
+
+	"ivmeps/internal/core"
+	"ivmeps/internal/relation"
+)
+
+// Every data-validation rejection of the mutation and snapshot paths is
+// programmable: it is either one of the sentinel values below (match with
+// errors.Is — the values may arrive wrapped with call-site context) or one
+// of the structured types ArityError and MultiplicityError (match with
+// errors.As); none of them requires matching on error strings. Caller-side
+// lifecycle mistakes that no program should branch on — Load after Build,
+// Build called twice, a non-positive initial multiplicity, mismatched
+// rows/mults lengths, committing another engine's Batch — remain plain
+// descriptive errors.
+var (
+	// ErrNotBuilt is returned by mutation and snapshot entry points invoked
+	// before Build, and is the value the enumeration conveniences
+	// (Enumerate, Rows, Count, All) panic with in the same situation — the
+	// package's one panicking misuse; see the package documentation.
+	ErrNotBuilt = core.ErrNotBuilt
+
+	// ErrUnknownRelation is returned when an update or load names a
+	// relation that does not occur in the engine's query.
+	ErrUnknownRelation = core.ErrUnknownRelation
+
+	// ErrStatic is returned when an update reaches an engine built with
+	// Options.Static, which rejects all post-Build maintenance.
+	ErrStatic = core.ErrStatic
+)
+
+// ArityError reports a row whose length does not match the schema of the
+// relation it was applied to.
+type ArityError struct {
+	Relation string
+	Row      []int64
+	Schema   []string // the relation's variable names
+}
+
+// Error formats the arity mismatch.
+func (e *ArityError) Error() string {
+	return fmt.Sprintf("ivmeps: relation %s: row %v has arity %d, schema %v has arity %d",
+		e.Relation, e.Row, len(e.Row), e.Schema, len(e.Schema))
+}
+
+// MultiplicityError reports a delete that would drive a row's multiplicity
+// below zero. Have is the multiplicity available when the update was
+// attempted — for a batch, the stored multiplicity plus the net effect of
+// the preceding ops of the same batch — and Delta the attempted change.
+type MultiplicityError struct {
+	Relation string
+	Row      []int64
+	Have     int64
+	Delta    int64
+}
+
+// Error formats the rejected delete.
+func (e *MultiplicityError) Error() string {
+	return fmt.Sprintf("ivmeps: relation %s: delete of %v with multiplicity %d exceeds available multiplicity %d",
+		e.Relation, e.Row, -e.Delta, e.Have)
+}
+
+// wrapErr maps the engine's internal structured errors onto the public
+// ArityError / MultiplicityError types. Sentinels pass through untouched —
+// they are shared by value with the internal layers, so errors.Is matches
+// without translation — as does anything else.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ae *relation.ArityError
+	if errors.As(err, &ae) {
+		schema := make([]string, len(ae.Schema))
+		for i, v := range ae.Schema {
+			schema[i] = string(v)
+		}
+		return &ArityError{Relation: ae.Relation, Row: ae.Tuple, Schema: schema}
+	}
+	var me *relation.MultiplicityError
+	if errors.As(err, &me) {
+		return &MultiplicityError{Relation: me.Relation, Row: me.Tuple, Have: me.Have, Delta: me.Delta}
+	}
+	return err
+}

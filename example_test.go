@@ -102,6 +102,67 @@ func Example_applyBatchWorkers() {
 	// result tuples after batch: 1000
 }
 
+// A Batch queues updates across any of the query's relations and Commit
+// applies them as one atomic maintenance commit: validated up front, all
+// or nothing, one snapshot epoch. Ingest streams that interleave several
+// relations no longer pay one maintenance pass per relation per row.
+func Example_batch() {
+	q := ivmeps.MustParseQuery("Q(A, C) = R(A, B), S(B, C)")
+	e, _ := ivmeps.New(q, ivmeps.Options{Epsilon: 0.5})
+	_ = e.Load("R", []int64{1, 10}, []int64{2, 10})
+	_ = e.Load("S", []int64{10, 7})
+	_ = e.Build()
+
+	// One atomic multi-relation batch: two inserts and a delete.
+	b := e.NewBatch()
+	b.Insert("R", []int64{3, 20})
+	b.Insert("S", []int64{20, 9})
+	b.Delete("R", []int64{1, 10})
+	if err := e.Commit(b); err != nil {
+		fmt.Println("batch rejected:", err)
+		return
+	}
+
+	// A failing op anywhere rejects the whole batch: the insert of S(30, 5)
+	// is NOT applied even though only the delete is invalid.
+	b.Reset()
+	b.Insert("S", []int64{30, 5})
+	b.Delete("R", []int64{42, 42}) // not present: MultiplicityError
+	if err := e.Commit(b); err != nil {
+		fmt.Println("batch rejected:", err)
+	}
+
+	rows, _ := e.Rows()
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
+	for _, r := range rows {
+		fmt.Printf("Q(%d, %d)\n", r[0], r[1])
+	}
+	// Output:
+	// batch rejected: ivmeps: relation R: delete of [42 42] with multiplicity 1 exceeds available multiplicity 0
+	// Q(2, 7)
+	// Q(3, 9)
+}
+
+// All returns a Go 1.23 range-over-func iterator over the committed result:
+// each loop observes one consistent state (an implicit snapshot), and the
+// yielded row slice is reused between iterations.
+func ExampleEngine_All() {
+	q := ivmeps.MustParseQuery("Q(A, C) = R(A, B), S(B, C)")
+	e, _ := ivmeps.New(q, ivmeps.Options{Epsilon: 0.5})
+	_ = e.Load("R", []int64{1, 10}, []int64{2, 10})
+	_ = e.Load("S", []int64{10, 7})
+	_ = e.Build()
+
+	total := 0
+	for row, mult := range e.All() {
+		_ = row
+		total += int(mult)
+	}
+	fmt.Printf("total multiplicity: %d\n", total)
+	// Output:
+	// total multiplicity: 2
+}
+
 // Multiplicities double as group-by aggregates (the extension noted in the
 // paper's conclusion): loading a measure as the tuple's multiplicity makes
 // every enumerated multiplicity a SUM over the joined group, and loading 1

@@ -68,13 +68,29 @@ func main() {
 
 	// Churn: follows/unfollows and topics trending in and out — including
 	// viral topics crossing the heavy/light boundary, which triggers minor
-	// rebalancing.
+	// rebalancing. The event stream interleaves both relations, so it is
+	// ingested through the multi-relation Batch: events accumulate into one
+	// builder and Commit applies each chunk as a single atomic maintenance
+	// commit — every view tree walked once per chunk per touched relation
+	// instead of once per event, and no reader ever observes a half-applied
+	// chunk.
+	const chunk = 512
 	edges := make([]edge, 0, len(seen))
 	for ed := range seen {
 		edges = append(edges, ed)
 	}
 	start = time.Now()
 	applied := 0
+	b := e.NewBatch()
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		if err := e.Commit(b); err != nil {
+			log.Fatal(err)
+		}
+		b.Reset()
+	}
 	for i := 0; i < churn; i++ {
 		switch rng.Intn(4) {
 		case 0: // new follow
@@ -82,9 +98,7 @@ func main() {
 			if !seen[ed] {
 				seen[ed] = true
 				edges = append(edges, ed)
-				if err := e.Insert("Follows", []int64{ed.u, ed.t}); err != nil {
-					log.Fatal(err)
-				}
+				b.Insert("Follows", []int64{ed.u, ed.t})
 				applied++
 			}
 		case 1: // unfollow
@@ -94,37 +108,36 @@ func main() {
 				edges[k] = edges[len(edges)-1]
 				edges = edges[:len(edges)-1]
 				delete(seen, ed)
-				if err := e.Delete("Follows", []int64{ed.u, ed.t}); err != nil {
-					log.Fatal(err)
-				}
+				b.Delete("Follows", []int64{ed.u, ed.t})
 				applied++
 			}
 		case 2: // topic starts trending
 			t := int64(zipf.Uint64())
 			if !trending[t] {
 				trending[t] = true
-				if err := e.Insert("Trending", []int64{t}); err != nil {
-					log.Fatal(err)
-				}
+				b.Insert("Trending", []int64{t})
 				applied++
 			}
 		default: // topic stops trending
 			for t := range trending {
 				delete(trending, t)
-				if err := e.Delete("Trending", []int64{t}); err != nil {
-					log.Fatal(err)
-				}
+				b.Delete("Trending", []int64{t})
 				applied++
 				break
 			}
 		}
+		if b.Len() >= chunk {
+			flush()
+		}
 	}
+	flush()
 	elapsed := time.Since(start)
 	st := e.Stats()
-	fmt.Printf("applied %d updates in %v (%.1fµs/update amortized)\n",
-		applied, elapsed.Round(time.Millisecond), float64(elapsed.Microseconds())/float64(applied))
-	fmt.Printf("rebalances: %d minor, %d major; view deltas: %d\n",
-		st.MinorRebalances, st.MajorRebalances, st.ViewDeltas)
+	fmt.Printf("applied %d updates in %d atomic batches in %v (%.1fµs/update amortized)\n",
+		applied, st.Batches, elapsed.Round(time.Millisecond), float64(elapsed.Microseconds())/float64(applied))
+	fmt.Printf("rebalances: %d minor, %d major; view deltas: %d; relations/batch: %.2f\n",
+		st.MinorRebalances, st.MajorRebalances, st.ViewDeltas,
+		float64(st.BatchRelations)/float64(st.Batches))
 
 	start = time.Now()
 	count := e.Count()

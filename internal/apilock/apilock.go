@@ -1,0 +1,176 @@
+// Package apilock locks the library's exported API surface: Dump renders
+// every exported declaration of a package directory — functions, methods,
+// types with their exported fields, and var/const names — into a stable,
+// sorted, textual form, and the package's test diffs that dump against the
+// committed golden file (ivmeps.golden). A PR that changes the public API
+// therefore has to regenerate the golden file (`make api-update`), turning
+// every API change into an explicit, reviewable diff instead of a silent
+// drift — the same discipline gorelease applies to released modules,
+// without the module-proxy machinery.
+//
+// The dump is source-based (go/parser, no type checking), so it renders
+// declarations as written: a field whose type names an internal package
+// shows that spelling. That is deliberate — the golden file tracks the
+// declared surface, and any change to it, including a swap from a concrete
+// type to an alias, is exactly what should show up in review.
+package apilock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Dump renders the exported API of the single Go package in dir (non-test
+// files only) as one sorted block of text, one line per declaration.
+func Dump(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	fset := token.NewFileSet()
+	var lines []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return "", err
+		}
+		lines = append(lines, fileLines(file)...)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+func fileLines(file *ast.File) []string {
+	var lines []string
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if l, ok := funcLine(d); ok {
+				lines = append(lines, l)
+			}
+		case *ast.GenDecl:
+			lines = append(lines, genLines(d)...)
+		}
+	}
+	return lines
+}
+
+// funcLine renders one exported function or method, e.g.
+// "func (e *Engine) Commit(b *Batch) error". Methods on unexported
+// receivers are skipped with their type.
+func funcLine(d *ast.FuncDecl) (string, bool) {
+	if !d.Name.IsExported() {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteString("func ")
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := types.ExprString(d.Recv.List[0].Type)
+		if !exportedTypeName(recv) {
+			return "", false
+		}
+		fmt.Fprintf(&b, "(%s) ", recv)
+	}
+	b.WriteString(d.Name.Name)
+	// ExprString renders the signature as "func(args) results"; strip the
+	// leading keyword so the name slots in.
+	sig := types.ExprString(d.Type)
+	b.WriteString(strings.TrimPrefix(sig, "func"))
+	return b.String(), true
+}
+
+// exportedTypeName reports whether a receiver spelling like "*Engine" or
+// "Batch" names an exported type.
+func exportedTypeName(s string) bool {
+	s = strings.TrimLeft(s, "*")
+	return s != "" && ast.IsExported(s)
+}
+
+func genLines(d *ast.GenDecl) []string {
+	var lines []string
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !ts.Name.IsExported() {
+				continue
+			}
+			lines = append(lines, typeLines(ts)...)
+		}
+	case token.VAR, token.CONST:
+		for _, spec := range d.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if !name.IsExported() {
+					continue
+				}
+				l := fmt.Sprintf("%s %s", d.Tok, name.Name)
+				if vs.Type != nil {
+					l += " " + types.ExprString(vs.Type)
+				}
+				lines = append(lines, l)
+			}
+		}
+	}
+	return lines
+}
+
+// typeLines renders one exported type: structs get one line per exported
+// field ("type Options struct; field Epsilon float64"), interfaces one per
+// method, and everything else a single line with the underlying spelling.
+func typeLines(ts *ast.TypeSpec) []string {
+	name := ts.Name.Name
+	assign := ""
+	if ts.Assign != token.NoPos {
+		assign = "= " // alias declarations are part of the surface
+	}
+	switch t := ts.Type.(type) {
+	case *ast.StructType:
+		lines := []string{fmt.Sprintf("type %s %sstruct", name, assign)}
+		for _, f := range t.Fields.List {
+			ft := types.ExprString(f.Type)
+			if len(f.Names) == 0 { // embedded
+				lines = append(lines, fmt.Sprintf("type %s struct; embed %s", name, ft))
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					lines = append(lines, fmt.Sprintf("type %s struct; field %s %s", name, fn.Name, ft))
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{fmt.Sprintf("type %s %sinterface", name, assign)}
+		for _, m := range t.Methods.List {
+			mt := types.ExprString(m.Type)
+			if len(m.Names) == 0 {
+				lines = append(lines, fmt.Sprintf("type %s interface; embed %s", name, mt))
+				continue
+			}
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					lines = append(lines, fmt.Sprintf("type %s interface; method %s%s",
+						name, mn.Name, strings.TrimPrefix(mt, "func")))
+				}
+			}
+		}
+		return lines
+	default:
+		return []string{fmt.Sprintf("type %s %s%s", name, assign, types.ExprString(ts.Type))}
+	}
+}

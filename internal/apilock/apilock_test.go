@@ -1,0 +1,80 @@
+package apilock
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden file from the current source instead of
+// diffing against it: `make api-update`.
+var update = flag.Bool("update", false, "rewrite ivmeps.golden from the current exported API")
+
+const golden = "ivmeps.golden"
+
+// TestAPILock diffs the exported API of the public ivmeps package (the
+// repository root) against the committed golden file. A mismatch means the
+// public surface changed: eyeball the diff below, and if the change is
+// intended, commit the regenerated golden (`make api-update`) alongside it.
+func TestAPILock(t *testing.T) {
+	got, err := Dump("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d lines)", golden, strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `make api-update` once): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		gotSet[l] = true
+	}
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimRight(want, "\n"), "\n") {
+		wantSet[l] = true
+	}
+	for l := range wantSet {
+		if !gotSet[l] {
+			t.Errorf("removed from exported API: %s", l)
+		}
+	}
+	for l := range gotSet {
+		if !wantSet[l] {
+			t.Errorf("added to exported API:     %s", l)
+		}
+	}
+	t.Fatalf("exported API changed; if intended, regenerate the lock with `make api-update` and commit %s", golden)
+}
+
+// TestDumpRendersCoreShapes sanity-checks the renderer on the live package:
+// the dump must contain a function, a method, a struct field, and a
+// sentinel var in the expected spellings (if these specific lines are
+// renamed, update the expectations — the point is the shapes).
+func TestDumpRendersCoreShapes(t *testing.T) {
+	got, err := Dump("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"func ParseQuery(s string) (*Query, error)",
+		"func (*Engine) Commit(b *Batch) error",
+		"type Options struct; field Epsilon float64",
+		"var ErrNotBuilt",
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("dump is missing %q", want)
+		}
+	}
+}

@@ -8,17 +8,18 @@ import (
 	"ivmeps/internal/viewtree"
 )
 
-// Batch updates: ApplyBatch applies a sequence of single-tuple updates as
-// one maintenance pass. The batch is aggregated into one delta per leaf, so
-// each view tree is walked once for the whole batch instead of once per
-// update, and the minor/major rebalance checks run once per distinct
-// partition key instead of once per update. The result is observably
-// equivalent to applying the updates one by one with Update: the enumerated
-// query result, the database size N, and the engine invariants
-// (CheckInvariants) all match; internal state that the paper leaves
-// implementation-defined — the exact threshold base M after growth and
-// which keys sit in the light parts — may differ within the allowed
-// invariants, exactly as a different update order would.
+// Batch updates: CommitBatch applies a sequence of single-tuple updates —
+// possibly spanning several relations — as one atomic maintenance commit,
+// and ApplyBatch is its one-relation wrapper. Per relation, the batch is
+// aggregated into one delta per leaf, so each view tree is walked once per
+// (batch, relation) instead of once per update, and the minor/major
+// rebalance checks run once per distinct partition key instead of once per
+// update. The result is observably equivalent to applying the updates one
+// by one with Update: the enumerated query result, the database size N, and
+// the engine invariants (CheckInvariants) all match; internal state that
+// the paper leaves implementation-defined — the exact threshold base M
+// after growth and which keys sit in the light parts — may differ within
+// the allowed invariants, exactly as a different update order would.
 //
 // With Options.Workers > 1 the per-tree propagations of a batch run on a
 // worker pool (worker.go). The propagation work is phased so that parallel
@@ -42,94 +43,182 @@ import (
 // the final state is byte-for-byte the sequential batch result regardless
 // of worker count or interleaving.
 
-// ApplyBatch applies the updates {rows[i] → mults[i]} to relation rel as
-// one batch. A nil mults applies every row with multiplicity +1. Rows are
-// validated first, in order, against the stored multiplicities plus the
-// preceding rows of the batch; on a validation error (arity mismatch or a
-// delete exceeding the available multiplicity) the engine is left
-// completely unchanged, unlike a sequential Update loop, which would have
-// applied the prefix.
-func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error {
-	// The writer lock covers the whole batch: a Snapshot captured while the
-	// batch is in flight blocks until the commit and then observes the
+// BatchOp is one single-tuple update of a (possibly multi-relation) batch:
+// {Row → Mult} applied to relation Rel. Mult > 0 inserts, Mult < 0 deletes,
+// Mult == 0 is skipped. The Row slice is referenced, not copied, until the
+// commit returns.
+type BatchOp struct {
+	Rel  string
+	Row  tuple.Tuple
+	Mult int64
+}
+
+// CommitBatch applies a sequence of updates spanning any of the query's
+// relations as one atomic maintenance commit. The ops are validated first,
+// in order — arity against each relation's schema, deletes against the
+// stored multiplicities plus the preceding ops of the batch — and on any
+// error (an unknown relation, an ArityError, a MultiplicityError) the
+// engine is left completely unchanged, unlike a sequential Update loop,
+// which would have applied the prefix. On success the whole batch commits
+// under one writer-lock hold and publishes one epoch: a concurrent
+// Snapshot observes either none or all of it, never a half-applied batch.
+//
+// Per touched relation (in first-touched order), the ops aggregate into
+// one net delta per view-tree leaf, propagated with the same phase
+// structure — and the same worker pool — as a one-relation batch; see
+// applyBatchOcc. Relations are propagated relation-major rather than in one
+// fused phase because a delta's sibling probes read the other base
+// relations: relation i's propagation must observe relations 1..i-1 post-
+// update and relations i+1..k pre-update (the standard delta-join
+// factorization), which a single fused phase over fully-updated bases
+// would break (it would overcount δR ⋈ δS terms). The observable result
+// equals the interleaved sequential Update sequence, with the usual
+// implementation-defined latitude in M and the light parts.
+func (e *Engine) CommitBatch(ops []BatchOp) error {
+	// The writer lock covers the whole commit: a Snapshot captured while
+	// the batch is in flight blocks until the commit and then observes the
 	// post-batch state; one captured before observes the pre-batch state.
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if !e.preprocessed {
-		return fmt.Errorf("core: ApplyBatch before Preprocess")
-	}
-	if e.opts.Mode != viewtree.Dynamic {
-		return fmt.Errorf("core: engine built in static mode; rebuild with Mode: Dynamic for updates")
-	}
-	occ, ok := e.occ[rel]
-	if !ok {
-		return fmt.Errorf("core: relation %s not in query %s", rel, e.orig)
-	}
+	return e.commitBatch(ops)
+}
+
+// ApplyBatch applies the updates {rows[i] → mults[i]} to the single
+// relation rel as one batch: a thin wrapper assembling a one-relation op
+// list for the commitBatch path (the op buffer is pooled, so the wrapper
+// adds no steady-state allocation). A nil mults applies every row with
+// multiplicity +1. Validation and atomicity follow CommitBatch: on any
+// error the engine is left completely unchanged.
+func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error {
 	if mults != nil && len(mults) != len(rows) {
 		return fmt.Errorf("core: ApplyBatch: %d rows but %d multiplicities", len(rows), len(mults))
 	}
-	if len(rows) == 0 {
-		return nil
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.occ[rel]; !ok {
+		// Resolved before the empty-batch fast path inside commitBatch, so
+		// a mis-spelled relation is reported even with zero rows.
+		return fmt.Errorf("core: %w: %q (query %s)", ErrUnknownRelation, rel, e.orig)
 	}
-	first := e.base[occ[0]]
-	arity := len(first.Schema())
-
-	// Validate the whole batch in order against the first occurrence,
-	// tracking the running multiplicity of each distinct tuple, and
-	// aggregate the net delta per tuple in first-seen order. The grouping
-	// map and group list are pooled on the engine (keys reference the
-	// caller's rows for the duration of the call), so repeated batches
-	// validate without allocating.
-	e.batchVal.Reset()
-	groups := e.batchGroups[:0]
-	applied := 0
-	for i, row := range rows {
+	ops := e.opsScratch[:0]
+	for i, r := range rows {
 		m := int64(1)
 		if mults != nil {
 			m = mults[i]
 		}
-		if m == 0 {
-			continue
-		}
-		if len(row) != arity {
-			e.releaseBatchVal(groups)
-			return fmt.Errorf("core: relation %s: tuple %v does not match schema %v", rel, row, first.Schema())
-		}
-		gi, h, seen := e.batchVal.GetHash(row)
-		if !seen {
-			gi = len(groups)
-			groups = append(groups, batchGroup{t: row, stored: first.Mult(row)})
-			e.batchVal.PutHashed(h, row, gi)
-		}
-		g := &groups[gi]
-		if g.stored+g.net+m < 0 {
-			// Capture the available multiplicity before releaseBatchVal
-			// zeroes the pooled group g points into.
-			have := g.stored + g.net
-			e.releaseBatchVal(groups)
-			return &relation.ErrNegative{Relation: rel, Tuple: row.Clone(), Have: have, Delta: m}
-		}
-		g.net += m
-		applied++
+		ops = append(ops, BatchOp{Rel: rel, Row: r, Mult: m})
+	}
+	err := e.commitBatch(ops)
+	clear(ops) // drop the references into the caller's rows
+	e.opsScratch = ops[:0]
+	return err
+}
+
+// commitBatch is the locked body of CommitBatch and ApplyBatch.
+func (e *Engine) commitBatch(ops []BatchOp) error {
+	if !e.preprocessed {
+		return fmt.Errorf("core: batch commit: %w (run Preprocess first)", ErrNotBuilt)
+	}
+	if e.opts.Mode != viewtree.Dynamic {
+		return fmt.Errorf("core: %w; rebuild with Mode: Dynamic for updates", ErrStatic)
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	if e.batchRelIdx == nil {
+		e.batchRelIdx = make(map[string]int)
 	}
 
-	// One aggregated delta for the whole batch; zero-net tuples drop out.
-	d := e.ws0.getDelta()
-	for i := range groups {
-		if groups[i].net != 0 {
-			d.appendRow(groups[i].t, groups[i].net)
+	// Validate the whole batch in op order, tracking the running
+	// multiplicity of each distinct (relation, tuple) and aggregating the
+	// net delta per tuple in first-seen order. All grouping state — the
+	// relation slots, their tuple-keyed maps, and the group lists — is
+	// pooled on the engine (keys reference the caller's rows for the
+	// duration of the call), so repeated batches validate without
+	// allocating. Ingest streams are usually runs of one relation, so the
+	// relation resolution keeps a last-op fast path in front of the map.
+	rels := e.batchRels[:0]
+	applied := 0
+	lastRel, lastIdx := "", -1
+	var err error
+	for i := range ops {
+		op := &ops[i]
+		if op.Rel != lastRel || lastIdx < 0 {
+			idx, ok := e.batchRelIdx[op.Rel]
+			if !ok {
+				occ, inQuery := e.occ[op.Rel]
+				if !inQuery {
+					err = fmt.Errorf("core: %w: %q (query %s)", ErrUnknownRelation, op.Rel, e.orig)
+					break
+				}
+				idx = len(rels)
+				rels = appendBatchRel(rels, op.Rel, occ, e.base[occ[0]])
+				e.batchRelIdx[op.Rel] = idx
+			}
+			lastRel, lastIdx = op.Rel, idx
 		}
-	}
-	e.releaseBatchVal(groups)
-	if len(d.rows) > 0 {
-		// Footnote 2: an update to a repeated relation symbol is a sequence
-		// of updates to each occurrence.
-		for _, o := range occ {
-			e.applyBatchOcc(e.routes[o], d)
+		br := &rels[lastIdx]
+		if len(op.Row) != br.arity {
+			err = &relation.ArityError{Relation: op.Rel, Tuple: op.Row.Clone(), Schema: br.first.Schema()}
+			break
 		}
+		if op.Mult == 0 {
+			// Still validated above — a zero-mult op against an unknown
+			// relation or with the wrong arity must not slip through — but
+			// it contributes nothing to the deltas.
+			continue
+		}
+		gi, h, seen := br.val.GetHash(op.Row)
+		if !seen {
+			gi = len(br.groups)
+			br.groups = append(br.groups, batchGroup{t: op.Row, stored: br.first.Mult(op.Row)})
+			br.val.PutHashed(h, op.Row, gi)
+		}
+		g := &br.groups[gi]
+		if g.stored+g.net+op.Mult < 0 {
+			err = &relation.MultiplicityError{Relation: op.Rel, Tuple: op.Row.Clone(),
+				Have: g.stored + g.net, Delta: op.Mult}
+			break
+		}
+		g.net += op.Mult
+		applied++
 	}
-	e.ws0.putDelta(d)
+	if err != nil {
+		// All-or-nothing: no base relation or view has been touched yet.
+		e.releaseBatchRels(rels)
+		return err
+	}
+
+	// Apply relation-major, in first-touched order: one aggregated delta
+	// per relation (zero-net tuples drop out), run through every
+	// occurrence's routes. Each relation's validation state only reads its
+	// own pre-batch multiplicities, so earlier relations' propagation (and
+	// even a major rebalance it triggers) cannot invalidate later groups.
+	touched := 0
+	for ri := range rels {
+		br := &rels[ri]
+		d := e.ws0.getDelta()
+		for gi := range br.groups {
+			if br.groups[gi].net != 0 {
+				d.appendRow(br.groups[gi].t, br.groups[gi].net)
+			}
+		}
+		if len(d.rows) > 0 {
+			// Footnote 2: an update to a repeated relation symbol is a
+			// sequence of updates to each occurrence.
+			for _, o := range br.occ {
+				e.applyBatchOcc(e.routes[o], d)
+			}
+			// Relations whose ops net to zero propagate nothing and do not
+			// count toward the batch's relation fan-out.
+			touched++
+		}
+		e.ws0.putDelta(d)
+	}
+	e.releaseBatchRels(rels)
 	e.stats.Updates += int64(applied)
+	e.stats.Batches++
+	e.stats.BatchRelations += int64(touched)
 	e.flushWorkerStats()
 	e.epoch++ // commit point: publish the post-batch state to future snapshots
 	return nil
@@ -142,14 +231,44 @@ type batchGroup struct {
 	stored int64
 }
 
-// releaseBatchVal returns the validation scratch to the engine's pool with
-// every reference into the caller's rows dropped (on success and on every
-// validation error alike), so a failed batch does not stay pinned by the
-// pooled map and group list.
-func (e *Engine) releaseBatchVal(groups []batchGroup) {
-	clear(groups)
-	e.batchGroups = groups[:0]
-	e.batchVal.Reset()
+// batchRelState is the pooled per-relation grouping state of one commit:
+// the relation's occurrence list, its tuple-keyed validation map, and the
+// distinct-tuple group list in first-seen order.
+type batchRelState struct {
+	rel    string
+	occ    []string
+	first  *relation.Relation
+	arity  int
+	val    tuple.IntMap
+	groups []batchGroup
+}
+
+// appendBatchRel appends a relation slot to rels, reusing the map and group
+// buffers of a previously pooled slot when the slice grows within capacity.
+func appendBatchRel(rels []batchRelState, rel string, occ []string, first *relation.Relation) []batchRelState {
+	if len(rels) < cap(rels) {
+		rels = rels[:len(rels)+1]
+		br := &rels[len(rels)-1]
+		br.rel, br.occ, br.first, br.arity = rel, occ, first, len(first.Schema())
+		return rels
+	}
+	return append(rels, batchRelState{rel: rel, occ: occ, first: first, arity: len(first.Schema())})
+}
+
+// releaseBatchRels returns the per-relation grouping scratch to the
+// engine's pool with every reference into the caller's rows dropped (on
+// success and on every validation error alike), so a failed batch does not
+// stay pinned by the pooled maps and group lists.
+func (e *Engine) releaseBatchRels(rels []batchRelState) {
+	for i := range rels {
+		br := &rels[i]
+		clear(br.groups)
+		br.groups = br.groups[:0]
+		br.val.Reset()
+		br.rel, br.occ, br.first = "", nil, nil
+	}
+	e.batchRels = rels[:0]
+	clear(e.batchRelIdx)
 }
 
 // batchKey is the per-distinct-partition-key state of one batch. The key

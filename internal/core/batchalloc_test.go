@@ -131,14 +131,14 @@ func TestApplyBatchErrorReleasesScratch(t *testing.T) {
 	if err == nil {
 		t.Fatal("over-deleting batch accepted")
 	}
-	var neg *relation.ErrNegative
+	var neg *relation.MultiplicityError
 	if !errors.As(err, &neg) {
-		t.Fatalf("over-delete returned %T, want *relation.ErrNegative", err)
+		t.Fatalf("over-delete returned %T, want *relation.MultiplicityError", err)
 	}
 	// Have must report the multiplicity available at the failing row (the
 	// stored count of {900,900}, which is 0) — not a zeroed pooled group.
 	if neg.Have != 0 || neg.Delta != -5 {
-		t.Errorf("ErrNegative = Have %d Delta %d, want Have 0 Delta -5", neg.Have, neg.Delta)
+		t.Errorf("MultiplicityError = Have %d Delta %d, want Have 0 Delta -5", neg.Have, neg.Delta)
 	}
 	// And a delete exceeding a positive stored multiplicity reports it.
 	if stored > 0 {
@@ -147,18 +147,28 @@ func TestApplyBatchErrorReleasesScratch(t *testing.T) {
 			t.Fatalf("over-delete of stored tuple returned %T", err)
 		}
 		if neg.Have != stored {
-			t.Errorf("ErrNegative.Have = %d, want stored multiplicity %d", neg.Have, stored)
+			t.Errorf("MultiplicityError.Have = %d, want stored multiplicity %d", neg.Have, stored)
 		}
 	}
 	if err := e.ApplyBatch("R", []tuple.Tuple{{1, 2}, {3, 4, 5}}, nil); err == nil {
 		t.Fatal("arity-mismatched batch accepted")
 	}
-	if n := e.batchVal.Len(); n != 0 {
-		t.Errorf("validation map holds %d entries after failed batches, want 0", n)
-	}
-	for i := range e.batchGroups[:cap(e.batchGroups)] {
-		if g := &e.batchGroups[:cap(e.batchGroups)][i]; g.t != nil {
-			t.Errorf("pooled group %d still references a caller row after failed batches", i)
+	pooled := e.batchRels[:cap(e.batchRels)]
+	for i := range pooled {
+		br := &pooled[i]
+		if n := br.val.Len(); n != 0 {
+			t.Errorf("pooled relation slot %d: validation map holds %d entries after failed batches, want 0", i, n)
 		}
+		for j := range br.groups[:cap(br.groups)] {
+			if g := &br.groups[:cap(br.groups)][j]; g.t != nil {
+				t.Errorf("pooled group %d/%d still references a caller row after failed batches", i, j)
+			}
+		}
+		if br.occ != nil || br.first != nil {
+			t.Errorf("pooled relation slot %d still references relation state after failed batches", i)
+		}
+	}
+	if len(e.batchRelIdx) != 0 {
+		t.Errorf("relation index holds %d entries after failed batches, want 0", len(e.batchRelIdx))
 	}
 }

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ivmeps/internal/query"
+	"ivmeps/internal/relation"
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+)
+
+// Tests for the multi-relation batch commit (CommitBatch): equivalence with
+// the interleaved sequential Update stream, bit-identity across worker
+// counts and with the per-relation ApplyBatch decomposition, the
+// all-or-nothing error contract across relations, and the typed errors.
+
+// randomOps builds a mixed multi-relation op stream against the live
+// contents of e: per relation it builds a randomBatch (deletes covered by
+// stored multiplicity plus earlier ops of the same relation), then merges
+// the per-relation streams in random order, preserving each relation's
+// internal order — so the interleaved sequential replay and the batch
+// validation accept exactly the same streams.
+func randomOps(rng *rand.Rand, e *Engine, q *query.Query, perRel int, domain int64) []BatchOp {
+	var streams [][]BatchOp
+	seen := map[string]bool{}
+	for _, a := range q.Atoms {
+		if seen[a.Rel] {
+			continue
+		}
+		seen[a.Rel] = true
+		rows, mults := randomBatch(rng, e, a.Rel, len(a.Vars), perRel, domain)
+		ops := make([]BatchOp, len(rows))
+		for i := range rows {
+			ops[i] = BatchOp{Rel: a.Rel, Row: rows[i], Mult: mults[i]}
+		}
+		streams = append(streams, ops)
+	}
+	var merged []BatchOp
+	for {
+		live := streams[:0]
+		for _, s := range streams {
+			if len(s) > 0 {
+				live = append(live, s)
+			}
+		}
+		streams = live
+		if len(streams) == 0 {
+			return merged
+		}
+		i := rng.Intn(len(streams))
+		merged = append(merged, streams[i][0])
+		streams[i] = streams[i][1:]
+	}
+}
+
+// TestCommitBatchMatchesInterleavedSequential is the multi-relation
+// observational-equivalence property test: a CommitBatch over an op stream
+// interleaving all relations of the query must enumerate the same result,
+// agree on N, and keep the invariants of the same stream applied op by op
+// with Update — at every worker count, including under -race.
+func TestCommitBatchMatchesInterleavedSequential(t *testing.T) {
+	forcePool(t)
+	queries := []string{
+		"Q(A, C) = R(A, B), S(B, C)",
+		"Q(C, D, E, F) = R(A, B, D), S(A, B, E), T(A, C, F), U(A, C, G)",
+		multiTreeQuery,
+	}
+	for _, qs := range queries {
+		q := query.MustParse(qs)
+		for _, workers := range []int{1, 2, 8} {
+			for _, eps := range []float64{0, 0.5} {
+				label := fmt.Sprintf("%s workers=%d eps=%v", qs, workers, eps)
+				rng := rand.New(rand.NewSource(int64(7000*workers) + int64(eps*10)))
+				db := randomDB(q, rng, 30, 5)
+				seq, err := New(q, Options{Mode: viewtree.Dynamic, Epsilon: eps})
+				if err != nil {
+					t.Fatal(err)
+				}
+				com, err := New(q, Options{Mode: viewtree.Dynamic, Epsilon: eps, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := Preprocess(seq, db.Clone()); err != nil {
+					t.Fatal(err)
+				}
+				if err := Preprocess(com, db.Clone()); err != nil {
+					t.Fatal(err)
+				}
+				for round := 0; round < 6; round++ {
+					perRel := 25
+					if round%3 == 2 {
+						perRel = 60 // cross a rebalance threshold mid-run
+					}
+					ops := randomOps(rng, seq, q, perRel, 6+int64(round))
+					for _, op := range ops {
+						if err := seq.Update(op.Rel, op.Row, op.Mult); err != nil {
+							t.Fatalf("%s: sequential update: %v", label, err)
+						}
+					}
+					before := com.Epoch()
+					if err := com.CommitBatch(ops); err != nil {
+						t.Fatalf("%s: commit: %v", label, err)
+					}
+					if got := com.Epoch(); got != before+1 {
+						t.Fatalf("%s: commit published %d epochs, want exactly 1", label, got-before)
+					}
+					sameEngines(t, fmt.Sprintf("%s round %d", label, round), seq, com)
+					if seq.N() != com.N() {
+						t.Fatalf("%s: N diverged: sequential %d, commit %d", label, seq.N(), com.N())
+					}
+					if err := seq.CheckInvariants(); err != nil {
+						t.Fatalf("%s: sequential invariants: %v", label, err)
+					}
+					if err := com.CheckInvariants(); err != nil {
+						t.Fatalf("%s: commit invariants: %v", label, err)
+					}
+				}
+				com.Close()
+			}
+		}
+	}
+}
+
+// sameViews asserts full per-view bit-identity of two engines (every
+// materialized view, not only the enumerated result).
+func sameViews(t *testing.T, label string, a, b *Engine) {
+	t.Helper()
+	for name, v := range a.views {
+		ov := b.views[name]
+		if ov == nil || ov.Size() != v.Size() {
+			t.Fatalf("%s: view %s differs (size %d vs %v)", label, name, v.Size(), ov)
+		}
+		mismatch := false
+		v.ForEach(func(tu tuple.Tuple, m int64) {
+			if ov.Mult(tu) != m {
+				mismatch = true
+			}
+		})
+		if mismatch {
+			t.Fatalf("%s: view %s multiplicities differ", label, name)
+		}
+	}
+}
+
+// TestCommitBatchWorkerCountsAgree pins determinism of the multi-relation
+// commit: after identical multi-relation op streams, engines at Workers 1,
+// 2, and 8 agree on every materialized view bit for bit.
+func TestCommitBatchWorkerCountsAgree(t *testing.T) {
+	forcePool(t)
+	q := query.MustParse(multiTreeQuery)
+	rng := rand.New(rand.NewSource(177))
+	db := randomDB(q, rng, 40, 5)
+	counts := []int{1, 2, 8}
+	engines := make([]*Engine, len(counts))
+	for i, w := range counts {
+		e, err := New(q, Options{Mode: viewtree.Dynamic, Epsilon: 0.5, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Preprocess(e, db.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = e
+		defer e.Close()
+	}
+	for round := 0; round < 6; round++ {
+		ops := randomOps(rng, engines[0], q, 40, 6)
+		for _, e := range engines {
+			if err := e.CommitBatch(ops); err != nil {
+				t.Fatalf("round %d workers=%d: %v", round, e.opts.Workers, err)
+			}
+		}
+		for i, e := range engines[1:] {
+			sameViews(t, fmt.Sprintf("round %d workers %d vs %d", round, counts[0], counts[i+1]),
+				engines[0], e)
+		}
+	}
+}
+
+// TestCommitBatchEquivalentToPerRelationBatches pins the decomposition the
+// commit documentation promises: one multi-relation CommitBatch leaves the
+// engine bit-identical (every view) to the same ops split into one
+// ApplyBatch per relation, issued in the commit's first-touched order —
+// the relation-major schedule is not just observably equivalent but the
+// same maintenance computation.
+func TestCommitBatchEquivalentToPerRelationBatches(t *testing.T) {
+	q := query.MustParse(multiTreeQuery)
+	rng := rand.New(rand.NewSource(271))
+	db := randomDB(q, rng, 40, 5)
+	com, err := New(q, Options{Mode: viewtree.Dynamic, Epsilon: 0.5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := New(q, Options{Mode: viewtree.Dynamic, Epsilon: 0.5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Preprocess(com, db.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Preprocess(split, db.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		ops := randomOps(rng, com, q, 40, 6)
+		if err := com.CommitBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+		// Replay per relation in first-touched order on the split engine.
+		var order []string
+		byRel := map[string][]BatchOp{}
+		for _, op := range ops {
+			if byRel[op.Rel] == nil {
+				order = append(order, op.Rel)
+			}
+			byRel[op.Rel] = append(byRel[op.Rel], op)
+		}
+		for _, rel := range order {
+			var rows []tuple.Tuple
+			var mults []int64
+			for _, op := range byRel[rel] {
+				rows = append(rows, op.Row)
+				mults = append(mults, op.Mult)
+			}
+			if err := split.ApplyBatch(rel, rows, mults); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sameViews(t, fmt.Sprintf("round %d", round), com, split)
+		if com.N() != split.N() || com.ThresholdBase() != split.ThresholdBase() {
+			t.Fatalf("round %d: N/M diverged: %d/%d vs %d/%d",
+				round, com.N(), com.ThresholdBase(), split.N(), split.ThresholdBase())
+		}
+	}
+}
+
+// TestCommitBatchValidation checks the all-or-nothing contract across
+// relations: a batch whose later op fails validation leaves the engine
+// completely unchanged — result, N, and epoch — no matter how many valid
+// ops on other relations preceded it, and reports the typed error.
+func TestCommitBatchValidation(t *testing.T) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	e, err := New(q, Options{Mode: viewtree.Dynamic, Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Preprocess(e, randomDB(q, rand.New(rand.NewSource(7)), 20, 4)); err != nil {
+		t.Fatal(err)
+	}
+	before := e.ResultRelation()
+	nBefore, epochBefore := e.N(), e.Epoch()
+	statsBefore := e.Stats()
+
+	check := func(wantErr string, ops []BatchOp, match func(error) bool) {
+		t.Helper()
+		err := e.CommitBatch(ops)
+		if err == nil {
+			t.Fatalf("%s batch accepted", wantErr)
+		}
+		if match != nil && !match(err) {
+			t.Fatalf("%s batch returned wrong error type: %v", wantErr, err)
+		}
+		if e.N() != nBefore || e.Epoch() != epochBefore {
+			t.Fatalf("%s batch changed engine: N %d→%d epoch %d→%d",
+				wantErr, nBefore, e.N(), epochBefore, e.Epoch())
+		}
+		after := e.ResultRelation()
+		if after.Size() != before.Size() {
+			t.Fatalf("%s batch changed result: %d → %d tuples", wantErr, before.Size(), after.Size())
+		}
+	}
+
+	// Over-delete on S after valid ops on R and S.
+	check("over-delete", []BatchOp{
+		{Rel: "R", Row: tuple.Tuple{100, 100}, Mult: 1},
+		{Rel: "S", Row: tuple.Tuple{100, 101}, Mult: 2},
+		{Rel: "S", Row: tuple.Tuple{999, 999}, Mult: -1},
+	}, func(err error) bool {
+		var me *relation.MultiplicityError
+		return errors.As(err, &me) && me.Relation == "S" && me.Have == 0 && me.Delta == -1
+	})
+	// Arity mismatch on the second relation.
+	check("arity", []BatchOp{
+		{Rel: "R", Row: tuple.Tuple{1, 2}, Mult: 1},
+		{Rel: "S", Row: tuple.Tuple{1, 2, 3}, Mult: 1},
+	}, func(err error) bool {
+		var ae *relation.ArityError
+		return errors.As(err, &ae) && ae.Relation == "S"
+	})
+	// Unknown relation after valid ops.
+	check("unknown-relation", []BatchOp{
+		{Rel: "R", Row: tuple.Tuple{1, 2}, Mult: 1},
+		{Rel: "Z", Row: tuple.Tuple{1}, Mult: 1},
+	}, func(err error) bool { return errors.Is(err, ErrUnknownRelation) })
+
+	if s := e.Stats(); s.Batches != statsBefore.Batches || s.Updates != statsBefore.Updates {
+		t.Fatalf("failed batches moved counters: %+v vs %+v", s, statsBefore)
+	}
+
+	// Zero-mult ops are no-ops but still validated: an unknown relation or
+	// a wrong arity behind Mult: 0 must not slip through.
+	check("zero-mult-unknown-relation", []BatchOp{
+		{Rel: "Z", Row: tuple.Tuple{1}, Mult: 0},
+	}, func(err error) bool { return errors.Is(err, ErrUnknownRelation) })
+	check("zero-mult-arity", []BatchOp{
+		{Rel: "R", Row: tuple.Tuple{1, 2, 3}, Mult: 0},
+	}, func(err error) bool {
+		var ae *relation.ArityError
+		return errors.As(err, &ae)
+	})
+
+	// A delete on one relation covered by an earlier insert of the same
+	// batch commits, spanning relations atomically. R's ops net to zero, so
+	// only S counts toward the batch's relation fan-out.
+	ops := []BatchOp{
+		{Rel: "R", Row: tuple.Tuple{55, 56}, Mult: 1},
+		{Rel: "S", Row: tuple.Tuple{56, 57}, Mult: 1},
+		{Rel: "R", Row: tuple.Tuple{55, 56}, Mult: -1},
+	}
+	if err := e.CommitBatch(ops); err != nil {
+		t.Fatalf("valid multi-relation batch rejected: %v", err)
+	}
+	if e.Epoch() != epochBefore+1 {
+		t.Fatalf("commit published %d epochs, want 1", e.Epoch()-epochBefore)
+	}
+	s := e.Stats()
+	if s.Batches != statsBefore.Batches+1 || s.BatchRelations != statsBefore.BatchRelations+1 {
+		t.Fatalf("stats after commit: Batches %d→%d BatchRelations %d→%d, want +1/+1 (R nets to zero)",
+			statsBefore.Batches, s.Batches, statsBefore.BatchRelations, s.BatchRelations)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty commit: a no-op that publishes nothing.
+	if err := e.CommitBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Epoch() != epochBefore+1 {
+		t.Fatal("empty commit published an epoch")
+	}
+}
+
+// TestCommitBatchTypedSentinels covers the sentinels of the commit path:
+// ErrNotBuilt before Preprocess and ErrStatic on a static-mode engine.
+func TestCommitBatchTypedSentinels(t *testing.T) {
+	q := query.MustParse("Q(A, C) = R(A, B), S(B, C)")
+	e, err := New(q, Options{Mode: viewtree.Dynamic, Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []BatchOp{{Rel: "R", Row: tuple.Tuple{1, 2}, Mult: 1}}
+	if err := e.CommitBatch(ops); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("CommitBatch before Preprocess: %v, want ErrNotBuilt", err)
+	}
+	if err := e.Update("R", tuple.Tuple{1, 2}, 1); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("Update before Preprocess: %v, want ErrNotBuilt", err)
+	}
+
+	st, err := New(q, Options{Mode: viewtree.Static, Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Preprocess(st, randomDB(q, rand.New(rand.NewSource(3)), 10, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CommitBatch(ops); !errors.Is(err, ErrStatic) {
+		t.Fatalf("CommitBatch on static engine: %v, want ErrStatic", err)
+	}
+	if err := st.Update("R", tuple.Tuple{1, 2}, 1); !errors.Is(err, ErrStatic) {
+		t.Fatalf("Update on static engine: %v, want ErrStatic", err)
+	}
+}

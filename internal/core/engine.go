@@ -100,14 +100,17 @@ type Engine struct {
 	pool     *workerPool
 	cleanup  runtime.Cleanup
 
-	// Pooled ApplyBatch scratch (batch.go): the all-or-nothing validation
-	// map and group list, the per-partition key-grouping table and batchKey
-	// lists, the refreshBatchH distinct-key set, and the arena backing the
-	// distinct partition keys of one occurrence pass. All are reset
-	// (capacity kept) rather than reallocated, so repeated batches on one
-	// engine allocate only for genuinely new entries.
-	batchVal    tuple.IntMap
-	batchGroups []batchGroup
+	// Pooled batch-commit scratch (batch.go): the per-relation slots of the
+	// all-or-nothing validation pass (tuple-keyed maps and group lists plus
+	// the relation-name index), the ApplyBatch wrapper's op buffer, the
+	// per-partition key-grouping table and batchKey lists, the refreshBatchH
+	// distinct-key set, and the arena backing the distinct partition keys of
+	// one occurrence pass. All are reset (capacity kept) rather than
+	// reallocated, so repeated batches on one engine allocate only for
+	// genuinely new entries.
+	batchRels   []batchRelState
+	batchRelIdx map[string]int
+	opsScratch  []BatchOp
 	groupMap    tuple.IntMap
 	seenKeys    tuple.IntMap
 	batchKeyBuf tuple.Tuple
@@ -166,6 +169,8 @@ type Stats struct {
 	MajorRebalances  int64
 	DeltasApplied    int64 // single-tuple deltas applied to views
 	EnumeratedTuples int64
+	Batches          int64 // batch commits (CommitBatch and ApplyBatch calls that ran)
+	BatchRelations   int64 // distinct relations with a net effect, summed over batch commits
 }
 
 // nodeInfo caches per-node metadata for materialization and enumeration.

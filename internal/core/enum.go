@@ -726,7 +726,7 @@ func (c *enumCtx) result() *Iterator {
 // take a Snapshot to enumerate concurrently with updates.
 func (e *Engine) Result() *Iterator {
 	if !e.preprocessed {
-		panic("core: Result before Preprocess")
+		panic(ErrNotBuilt)
 	}
 	return e.ectx.result()
 }

@@ -24,7 +24,7 @@ func Preprocess(e *Engine, db naive.Database) error {
 	for name, src := range db {
 		occ, ok := e.occ[name]
 		if !ok {
-			return fmt.Errorf("core: relation %s not in query %s", name, e.orig)
+			return fmt.Errorf("core: %w: %q (query %s)", ErrUnknownRelation, name, e.orig)
 		}
 		var loadErr error
 		src.ForEach(func(t tuple.Tuple, m int64) {
@@ -34,7 +34,7 @@ func Preprocess(e *Engine, db naive.Database) error {
 			}
 			for _, o := range occ {
 				if len(t) != len(e.base[o].Schema()) {
-					loadErr = fmt.Errorf("core: relation %s: tuple %v does not match schema %v", name, t, e.base[o].Schema())
+					loadErr = &relation.ArityError{Relation: name, Tuple: t.Clone(), Schema: e.base[o].Schema()}
 					return
 				}
 				e.base[o].MustAdd(t, m)

@@ -43,7 +43,9 @@ func (e *Engine) Snapshot() *Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.preprocessed {
-		panic("core: Snapshot before Preprocess")
+		// The one panicking entry point of the read path (documented on the
+		// public Enumerate/Rows/Count/All): recover sees ErrNotBuilt itself.
+		panic(ErrNotBuilt)
 	}
 	s := &Snapshot{e: e, epoch: e.epoch}
 	rels := make(map[*viewtree.Node]*relation.Relation)

@@ -96,25 +96,25 @@ func (e *Engine) Update(rel string, t tuple.Tuple, m int64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.preprocessed {
-		return fmt.Errorf("core: Update before Preprocess")
+		return fmt.Errorf("core: Update: %w (run Preprocess first)", ErrNotBuilt)
 	}
 	if e.opts.Mode != viewtree.Dynamic {
-		return fmt.Errorf("core: engine built in static mode; rebuild with Mode: Dynamic for updates")
+		return fmt.Errorf("core: %w; rebuild with Mode: Dynamic for updates", ErrStatic)
 	}
 	occ, ok := e.occ[rel]
 	if !ok {
-		return fmt.Errorf("core: relation %s not in query %s", rel, e.orig)
+		return fmt.Errorf("core: %w: %q (query %s)", ErrUnknownRelation, rel, e.orig)
 	}
 	if m == 0 {
 		return nil
 	}
 	first := e.base[occ[0]]
 	if len(t) != len(first.Schema()) {
-		return fmt.Errorf("core: relation %s: tuple %v does not match schema %v", rel, t, first.Schema())
+		return &relation.ArityError{Relation: rel, Tuple: t.Clone(), Schema: first.Schema()}
 	}
 	// Validate against the first occurrence (all occurrences are identical).
 	if cur := first.Mult(t); cur+m < 0 {
-		return &relation.ErrNegative{Relation: rel, Tuple: t.Clone(), Have: cur, Delta: m}
+		return &relation.MultiplicityError{Relation: rel, Tuple: t.Clone(), Have: cur, Delta: m}
 	}
 	// Footnote 2: an update to a repeated relation symbol is a sequence of
 	// updates to each occurrence.

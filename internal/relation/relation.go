@@ -189,9 +189,11 @@ func (r *Relation) MultHashed(h uint64, t tuple.Tuple) int64 {
 // Contains reports whether t ∈ R (non-zero multiplicity).
 func (r *Relation) Contains(t tuple.Tuple) bool { return r.Mult(t) != 0 }
 
-// ErrNegative is returned when an update would drive a multiplicity below
-// zero; the paper rejects such deletes (Section 3, "Modeling Updates").
-type ErrNegative struct {
+// MultiplicityError is returned when an update would drive a multiplicity
+// below zero; the paper rejects such deletes (Section 3, "Modeling
+// Updates"). Have is the multiplicity available when the update was
+// attempted and Delta the attempted (negative) change.
+type MultiplicityError struct {
 	Relation string
 	Tuple    tuple.Tuple
 	Have     int64
@@ -199,9 +201,23 @@ type ErrNegative struct {
 }
 
 // Error formats the rejected delete.
-func (e *ErrNegative) Error() string {
+func (e *MultiplicityError) Error() string {
 	return fmt.Sprintf("relation %s: delete of %v with multiplicity %d exceeds stored multiplicity %d",
 		e.Relation, e.Tuple, -e.Delta, e.Have)
+}
+
+// ArityError is returned when a tuple's length does not match the schema of
+// the relation it is applied to.
+type ArityError struct {
+	Relation string
+	Tuple    tuple.Tuple
+	Schema   tuple.Schema
+}
+
+// Error formats the arity mismatch.
+func (e *ArityError) Error() string {
+	return fmt.Sprintf("relation %s: tuple %v has arity %d, schema %v has arity %d",
+		e.Relation, e.Tuple, len(e.Tuple), e.Schema, len(e.Schema))
 }
 
 // Add applies the single-tuple delta {t -> m}: it adds m to the
@@ -228,11 +244,10 @@ func (r *Relation) Add(t tuple.Tuple, m int64) error {
 }
 
 // arityError builds the arity-mismatch error away from the Add hot path:
-// formatting t directly there would make the tuple parameter escape and
+// constructing it directly there would make the tuple parameter escape and
 // heap-allocate every caller-constructed tuple.
 func (r *Relation) arityError(t tuple.Tuple) error {
-	return fmt.Errorf("relation %s: tuple %v has arity %d, schema %v has arity %d",
-		r.name, t.Clone(), len(t), r.schema, len(r.schema))
+	return &ArityError{Relation: r.name, Tuple: t.Clone(), Schema: r.schema}
 }
 
 // AddHashed is Add with the hash precomputed via HashOf (a hash not equal
@@ -261,7 +276,7 @@ func (r *Relation) addHashed(t tuple.Tuple, h uint64, m int64) error {
 	e := s.tab.get(h, t)
 	if e == nil {
 		if m < 0 {
-			return &ErrNegative{Relation: r.name, Tuple: t.Clone(), Have: 0, Delta: m}
+			return &MultiplicityError{Relation: r.name, Tuple: t.Clone(), Have: 0, Delta: m}
 		}
 		e = s.newEntry(t, m)
 		e.hash = h
@@ -274,7 +289,7 @@ func (r *Relation) addHashed(t tuple.Tuple, h uint64, m int64) error {
 		return nil
 	}
 	if e.Mult+m < 0 {
-		return &ErrNegative{Relation: r.name, Tuple: t.Clone(), Have: e.Mult, Delta: m}
+		return &MultiplicityError{Relation: r.name, Tuple: t.Clone(), Have: e.Mult, Delta: m}
 	}
 	e.Mult += m
 	s.total += m

@@ -36,7 +36,7 @@ func TestAddRejectsNegative(t *testing.T) {
 	if err == nil {
 		t.Fatalf("over-delete accepted")
 	}
-	if _, ok := err.(*ErrNegative); !ok {
+	if _, ok := err.(*MultiplicityError); !ok {
 		t.Fatalf("error type = %T", err)
 	}
 	if r.Mult(tuple.Tuple{1, 2}) != 2 {

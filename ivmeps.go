@@ -24,35 +24,66 @@
 //	_ = e.Load("S", []int64{10, 7})
 //	_ = e.Build()
 //	_ = e.Insert("R", []int64{3, 10})
-//	e.Enumerate(func(row []int64, mult int64) bool {
+//	for row, mult := range e.All() {
 //		fmt.Println(row, mult)
-//		return true
-//	})
+//	}
 //
-// The update path is engineered for sustained traffic: the propagation
-// routes from every relation to every affected view are precomputed at
-// Build time, and a steady-state Apply runs without heap allocation. For
-// bulk ingestion, ApplyBatch applies many updates in one maintenance pass —
-// the batch is aggregated into one delta per view-tree leaf, so each tree
-// is walked once per batch instead of once per update, with the same
-// observable result as the equivalent sequence of Apply calls.
+// # Mutation
+//
+// After Build, the engine maintains the query under single-tuple updates
+// (Insert, Delete, Apply — one maintenance pass each) and under batches.
+// The batch entry point is the Batch builder: queue any mix of updates
+// across any of the query's relations, then Commit them as one atomic
+// maintenance commit —
+//
+//	b := e.NewBatch()
+//	b.Insert("R", []int64{4, 11})
+//	b.Delete("S", []int64{10, 7})
+//	b.Apply("R", []int64{1, 10}, -1)
+//	if err := e.Commit(b); err != nil { ...
+//
+// Commit validates the whole batch up front and applies all of it or none
+// of it: on an error the engine state, including its snapshot epoch, is
+// exactly what it was. Per touched relation the updates aggregate into one
+// delta per view-tree leaf, so every view tree is walked once per (batch,
+// relation) instead of once per update; the observable result is identical
+// to applying the same updates in order with Apply. ApplyBatch remains as
+// the one-relation convenience wrapper over the same path. The update path
+// is engineered for sustained traffic: the propagation routes from every
+// relation to every affected view are precomputed at Build time, and
+// steady-state Apply and Commit run without heap allocation.
+//
+// Mutation errors are programmable, not stringly: Is-match ErrNotBuilt,
+// ErrUnknownRelation, and ErrStatic, and As-match the structured
+// ArityError and MultiplicityError.
 //
 // # Parallel batches
 //
 // A batch's per-tree propagations are independent, and Options.Workers lets
-// ApplyBatch spread them over a bounded pool of worker goroutines: 0 (the
-// default) sizes the pool from GOMAXPROCS, 1 forces the sequential path,
-// and larger values are honored as given. Each worker owns its scratch
-// state (binding slots, delta pools, key-encoding buffers), so steady-state
-// propagation stays allocation-free per worker, and parallel sections only
-// ever write views of distinct trees while reading a frozen view of the
-// relations shared across trees. The final engine state is identical to
-// the sequential batch result for every worker count; only the wall-clock
-// interleaving differs. Engines are still single-writer: ApplyBatch
-// parallelizes internally, but write methods (Apply, ApplyBatch,
+// Commit and ApplyBatch spread them over a bounded pool of worker
+// goroutines: 0 (the default) sizes the pool from GOMAXPROCS, 1 forces the
+// sequential path, and larger values are honored as given. Each worker owns
+// its scratch state (binding slots, delta pools, key-encoding buffers), so
+// steady-state propagation stays allocation-free per worker, and parallel
+// sections only ever write views of distinct trees while reading a frozen
+// view of the relations shared across trees. The final engine state is
+// identical to the sequential batch result for every worker count; only the
+// wall-clock interleaving differs. Engines are still single-writer: Commit
+// parallelizes internally, but write methods (Apply, ApplyBatch, Commit,
 // Insert, Delete) must not be invoked concurrently with each other. Call
 // Close to release the pool when discarding an engine early; a
 // garbage-collected engine releases it automatically.
+//
+// # Errors and the one panic
+//
+// Every entry point that can fail returns an error — with one deliberate
+// exception. The enumeration conveniences Enumerate, Rows, Count, and All
+// (on Engine; the Snapshot variants cannot be obtained before Build) have
+// no error results so they compose with range loops, and calling them
+// before Build is unambiguous API misuse: they panic with ErrNotBuilt
+// rather than silently yielding nothing. That is the package's only panic
+// on misuse; programmatic callers who prefer an error call Snapshot, which
+// returns ErrNotBuilt instead.
 //
 // # Snapshots
 //
@@ -72,6 +103,7 @@ package ivmeps
 
 import (
 	"fmt"
+	"iter"
 
 	"ivmeps/internal/core"
 	"ivmeps/internal/naive"
@@ -213,16 +245,16 @@ func (e *Engine) Load(rel string, rows ...[]int64) error {
 // Build.
 func (e *Engine) LoadWeighted(rel string, row []int64, mult int64) error {
 	if e.built {
-		return fmt.Errorf("ivmeps: Load after Build; use Insert/Delete/Apply")
+		return fmt.Errorf("ivmeps: Load after Build; use Insert/Delete/Apply or a Batch")
 	}
 	r, ok := e.initial[rel]
 	if !ok {
-		return fmt.Errorf("ivmeps: relation %q not in query %s", rel, e.q)
+		return fmt.Errorf("ivmeps: %w: %q (query %s)", ErrUnknownRelation, rel, e.q)
 	}
 	if mult <= 0 {
 		return fmt.Errorf("ivmeps: initial multiplicity must be positive, got %d", mult)
 	}
-	return r.Add(tuple.Tuple(row), mult)
+	return wrapErr(r.Add(tuple.Tuple(row), mult))
 }
 
 // Build runs the preprocessing stage over the loaded data. It must be
@@ -232,7 +264,7 @@ func (e *Engine) Build() error {
 		return fmt.Errorf("ivmeps: Build called twice")
 	}
 	if err := core.Preprocess(e.e, e.initial); err != nil {
-		return err
+		return wrapErr(err)
 	}
 	e.built = true
 	e.initial = nil
@@ -250,9 +282,9 @@ func (e *Engine) Delete(rel string, row []int64) error { return e.Apply(rel, row
 // negative to delete). The amortized cost is O(N^(δε)).
 func (e *Engine) Apply(rel string, row []int64, mult int64) error {
 	if !e.built {
-		return fmt.Errorf("ivmeps: Apply before Build")
+		return fmt.Errorf("ivmeps: Apply: %w (call Build first)", ErrNotBuilt)
 	}
-	return e.e.Update(rel, tuple.Tuple(row), mult)
+	return wrapErr(e.e.Update(rel, tuple.Tuple(row), mult))
 }
 
 // ApplyBatch applies the updates {rows[i] → mults[i]} to one relation as a
@@ -267,18 +299,22 @@ func (e *Engine) Apply(rel string, row []int64, mult int64) error {
 //
 // Error handling differs from a sequential Apply loop in one way: the
 // batch is validated up front (in order, counting the effect of earlier
-// rows), and on any error — arity mismatch, or a delete exceeding the
-// available multiplicity — the engine is left completely unchanged rather
-// than with a prefix applied.
+// rows), and on any error — an ArityError, or a MultiplicityError for a
+// delete exceeding the available multiplicity — the engine is left
+// completely unchanged rather than with a prefix applied.
+//
+// ApplyBatch is the one-relation convenience over the Batch/Commit path
+// and shares its machinery; use a Batch to span several relations in one
+// atomic commit.
 func (e *Engine) ApplyBatch(rel string, rows [][]int64, mults []int64) error {
 	if !e.built {
-		return fmt.Errorf("ivmeps: ApplyBatch before Build")
+		return fmt.Errorf("ivmeps: ApplyBatch: %w (call Build first)", ErrNotBuilt)
 	}
 	ts := make([]tuple.Tuple, len(rows))
 	for i, r := range rows {
 		ts[i] = tuple.Tuple(r)
 	}
-	return e.e.ApplyBatch(rel, ts, mults)
+	return wrapErr(e.e.ApplyBatch(rel, ts, mults))
 }
 
 // Close releases the engine's batch worker goroutines, if any were started
@@ -295,15 +331,42 @@ func (e *Engine) Close() { e.e.Close() }
 //
 // Enumerate takes an implicit Snapshot for the duration of the call, so it
 // observes one committed state and is safe to call from any goroutine,
-// concurrently with Apply/ApplyBatch and with other readers. To make
+// concurrently with Commit/Apply/ApplyBatch and with other readers. To make
 // several reads observe the same state, take an explicit Snapshot instead.
+//
+// Enumerate before Build panics with ErrNotBuilt (the package's one panic
+// on misuse; see the package documentation).
 func (e *Engine) Enumerate(yield func(row []int64, mult int64) bool) {
-	s, err := e.Snapshot()
-	if err != nil {
-		panic(err) // Enumerate before Build, matching the former behavior
-	}
+	s := e.mustSnapshot()
 	defer s.Close()
 	s.Enumerate(yield)
+}
+
+// All returns an iterator over the current committed result, for use with
+// range: every distinct result tuple (over the query's free variables, in
+// head order) with its multiplicity. Like Enumerate, each ranging takes an
+// implicit Snapshot, so one loop observes one committed state and may run
+// concurrently with updates; the yielded row slice is reused between
+// iterations — copy it to retain.
+//
+// Ranging over All before Build panics with ErrNotBuilt (the package's one
+// panic on misuse; see the package documentation).
+func (e *Engine) All() iter.Seq2[[]int64, int64] {
+	return func(yield func([]int64, int64) bool) {
+		s := e.mustSnapshot()
+		defer s.Close()
+		s.Enumerate(yield)
+	}
+}
+
+// mustSnapshot backs the enumeration conveniences: it panics with
+// ErrNotBuilt where Snapshot would return it.
+func (e *Engine) mustSnapshot() *Snapshot {
+	s, err := e.Snapshot()
+	if err != nil {
+		panic(ErrNotBuilt)
+	}
+	return s
 }
 
 // Snapshot captures the current committed state for concurrent reading:
@@ -315,7 +378,7 @@ func (e *Engine) Enumerate(yield func(row []int64, mult int64) bool) {
 // (they share storage). Close it when done.
 func (e *Engine) Snapshot() (*Snapshot, error) {
 	if !e.built {
-		return nil, fmt.Errorf("ivmeps: Snapshot before Build")
+		return nil, fmt.Errorf("ivmeps: Snapshot: %w (call Build first)", ErrNotBuilt)
 	}
 	return &Snapshot{s: e.e.Snapshot()}, nil
 }
@@ -338,6 +401,17 @@ func (s *Snapshot) Epoch() uint64 { return s.s.Epoch() }
 // retain. Return false to stop early.
 func (s *Snapshot) Enumerate(yield func(row []int64, mult int64) bool) {
 	s.s.Enumerate(func(t tuple.Tuple, m int64) bool { return yield(t, m) })
+}
+
+// All returns an iterator over the snapshot's state, for use with range:
+// every distinct result tuple with its multiplicity, in head order, with
+// the same delay guarantee as Enumerate. The yielded row slice is reused
+// between iterations; copy it to retain. The iterator may be ranged over
+// several times; every pass enumerates the same committed state.
+func (s *Snapshot) All() iter.Seq2[[]int64, int64] {
+	return func(yield func([]int64, int64) bool) {
+		s.Enumerate(yield)
+	}
 }
 
 // Rows materializes the snapshot's full result as (row, multiplicity)
@@ -367,23 +441,17 @@ func (s *Snapshot) Close() { s.s.Close() }
 
 // Rows materializes the full result as (row, multiplicity) pairs; intended
 // for small results and tests. Like Enumerate, it reads one committed
-// state via an implicit snapshot.
+// state via an implicit snapshot, and panics with ErrNotBuilt before Build.
 func (e *Engine) Rows() (rows [][]int64, mults []int64) {
-	s, err := e.Snapshot()
-	if err != nil {
-		panic(err)
-	}
+	s := e.mustSnapshot()
 	defer s.Close()
 	return s.Rows()
 }
 
 // Count returns the number of distinct result tuples (by enumeration of an
-// implicit snapshot).
+// implicit snapshot). It panics with ErrNotBuilt before Build.
 func (e *Engine) Count() int {
-	s, err := e.Snapshot()
-	if err != nil {
-		panic(err)
-	}
+	s := e.mustSnapshot()
 	defer s.Close()
 	return s.Count()
 }
@@ -401,6 +469,13 @@ type Stats struct {
 	MinorRebalances int64
 	MajorRebalances int64
 	ViewDeltas      int64
+	// Batches counts committed batches (Commit and ApplyBatch calls that
+	// ran to commit), and BatchRelations the distinct relations with a net
+	// effect (ops that did not cancel out within the batch), summed over
+	// those batches — BatchRelations/Batches is the mean effective fan-out
+	// of the ingest stream across the query's relations.
+	Batches        int64
+	BatchRelations int64
 }
 
 // Explain returns a human-readable description of the engine's strategy:
@@ -416,5 +491,7 @@ func (e *Engine) Stats() Stats {
 		MinorRebalances: s.MinorRebalances,
 		MajorRebalances: s.MajorRebalances,
 		ViewDeltas:      s.DeltasApplied,
+		Batches:         s.Batches,
+		BatchRelations:  s.BatchRelations,
 	}
 }
