@@ -6,8 +6,9 @@
 GO ?= go
 
 # The update-path benchmark set: single-tuple updates, sequential batches,
-# and the parallel-batch worker sweep. Keep in sync with BENCH_update.json.
-BENCH_RE = Update|Batch|Parallel
+# the parallel-batch worker sweep, and the sharded-federation commit and
+# gather paths. Keep in sync with BENCH_update.json.
+BENCH_RE = Update|Batch|Parallel|Sharded
 
 .PHONY: check test vet bench bench-fresh diff-allocs diff-time bench-check bench-check-allocs docs-check api-check api-update bench-all
 

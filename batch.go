@@ -7,10 +7,10 @@ import (
 )
 
 // Batch collects single-tuple updates — inserts, deletes, weighted applies
-// — across any of the engine's relations, for Engine.Commit to apply as one
-// atomic maintenance commit. The zero Batch obtained from Engine.NewBatch
-// is empty; the builder methods never fail (validation happens in Commit)
-// and return the batch for chaining:
+// — across any of the engine's relations, for Engine.Commit (or
+// Sharded.Commit) to apply as one atomic maintenance commit. The zero Batch
+// obtained from NewBatch is empty; the builder methods never fail
+// (validation happens in Commit) and return the batch for chaining:
 //
 //	b := e.NewBatch()
 //	b.Insert("R", []int64{1, 10})
@@ -23,14 +23,22 @@ import (
 // next batch reusing its storage (the steady-state Reset/refill/Commit
 // cycle performs no heap allocation), or Commit it again to re-apply the
 // same updates. A Batch is not safe for concurrent use.
+//
+// A batch belongs to the engine that created it: the builder resolves each
+// relation name to the engine's stable relation id at queue time, so Commit
+// validates ids instead of repeating per-op name lookups, and committing a
+// batch to a different engine is rejected.
 type Batch struct {
-	e   *Engine
-	ops []core.BatchOp
+	owner   any              // the *Engine or *Sharded that created it
+	resolve func(string) int // owner's relation-id table
+	lastRel string           // one-entry resolution cache for the
+	lastID  int              // common runs-of-one-relation pattern
+	ops     []core.BatchOp
 }
 
 // NewBatch returns an empty update batch for this engine. The batch may be
 // built before or after Build, but only committed after.
-func (e *Engine) NewBatch() *Batch { return &Batch{e: e} }
+func (e *Engine) NewBatch() *Batch { return &Batch{owner: e, resolve: e.e.RelID} }
 
 // Insert queues the single-tuple insert {row → +1} against rel.
 func (b *Batch) Insert(rel string, row []int64) *Batch { return b.Apply(rel, row, 1) }
@@ -43,9 +51,13 @@ func (b *Batch) Delete(rel string, row []int64) *Batch { return b.Apply(rel, row
 
 // Apply queues the single-tuple update {row → mult} against rel: positive
 // to insert, negative to delete. A zero mult contributes nothing but is
-// still validated by Commit (relation and arity).
+// still validated by Commit (relation and arity). An unknown relation name
+// is detected by Commit, which reports it with ErrUnknownRelation.
 func (b *Batch) Apply(rel string, row []int64, mult int64) *Batch {
-	b.ops = append(b.ops, core.BatchOp{Rel: rel, Row: row, Mult: mult})
+	if rel != b.lastRel || b.lastID == 0 {
+		b.lastRel, b.lastID = rel, b.resolve(rel)
+	}
+	b.ops = append(b.ops, core.BatchOp{Rel: rel, RelID: b.lastID, Row: row, Mult: mult})
 	return b
 }
 
@@ -82,7 +94,7 @@ func (e *Engine) Commit(b *Batch) error {
 	if b == nil {
 		return nil // like an empty batch: nothing to commit
 	}
-	if b.e != e {
+	if b.owner != e {
 		return fmt.Errorf("ivmeps: Commit: batch was created by a different engine")
 	}
 	return wrapErr(e.e.CommitBatch(b.ops))

@@ -18,6 +18,7 @@ import (
 	"ivmeps/internal/baseline"
 	"ivmeps/internal/core"
 	"ivmeps/internal/experiments"
+	"ivmeps/internal/federation"
 	"ivmeps/internal/naive"
 	"ivmeps/internal/query"
 	"ivmeps/internal/relation"
@@ -694,5 +695,156 @@ func BenchmarkMultiRelationBatch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkShardedCommit measures the federated multi-relation commit path
+// on the same mixed three-relation ingest stream as
+// BenchmarkMultiRelationBatch: each iteration commits a 9000-op batch and
+// its inverse through a K-shard federation (scatter, per-shard two-phase
+// prepare/apply, federation epoch). K=1 isolates the federation overhead
+// over a single engine's CommitBatch — the scatter pass and one extra
+// indirection — and is held within 10% of
+// BenchmarkMultiRelationBatch/workers=1 by the CI bench tolerance; K>1
+// shows the cross-shard path (on a multi-core host the prepared shards
+// apply in parallel). allocs/op is pinned at 0 by the CI bench gate.
+func BenchmarkShardedCommit(b *testing.B) {
+	const opsPerRel = 3000
+	q := query.MustParse("Q(C, E) = R(A), S(A, B), T(A, B, C), U(A, D), V(A, D, E)")
+	multiTreeDB := func(rng *rand.Rand, n int) naive.Database {
+		db := naive.Database{}
+		for _, a := range q.Atoms {
+			r := relation.New(a.Rel, a.Vars)
+			for i := 0; i < n; i++ {
+				t := make(tuple.Tuple, len(a.Vars))
+				t[0] = rng.Int63n(int64(n) / 8) // shared A: skewed enough to split
+				for j := 1; j < len(t); j++ {
+					t[j] = rng.Int63n(int64(n))
+				}
+				r.Set(t, 1)
+			}
+			db[a.Rel] = r
+		}
+		return db
+	}
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(83))
+			f, err := federation.New(q, federation.Options{
+				Shards: k,
+				Engine: core.Options{Mode: viewtree.Dynamic, Epsilon: 0.5, Workers: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			if err := f.Preprocess(multiTreeDB(rng, benchN)); err != nil {
+				b.Fatal(err)
+			}
+			// The same interleaved S,T,V stream as the unsharded benchmark:
+			// every op switches relations, the worst case for relation
+			// resolution in the scatter phase.
+			sPool := make([]tuple.Tuple, 2000)
+			tPool := make([]tuple.Tuple, 2000)
+			vPool := make([]tuple.Tuple, 2000)
+			for i := range sPool {
+				a := rng.Int63n(benchN / 8)
+				sPool[i] = tuple.Tuple{a, 1_000_000 + int64(i)}
+				tPool[i] = tuple.Tuple{a, rng.Int63n(benchN), 2_000_000 + int64(i)}
+				vPool[i] = tuple.Tuple{a, rng.Int63n(benchN), 3_000_000 + int64(i)}
+			}
+			ops := make([]core.BatchOp, 0, 3*opsPerRel)
+			for i := 0; i < opsPerRel; i++ {
+				ops = append(ops,
+					core.BatchOp{Rel: "S", Row: sPool[rng.Intn(len(sPool))], Mult: 1},
+					core.BatchOp{Rel: "T", Row: tPool[rng.Intn(len(tPool))], Mult: 1},
+					core.BatchOp{Rel: "V", Row: vPool[rng.Intn(len(vPool))], Mult: 1},
+				)
+			}
+			inv := make([]core.BatchOp, len(ops))
+			for i, op := range ops {
+				inv[len(inv)-1-i] = core.BatchOp{Rel: op.Rel, Row: op.Row, Mult: -1}
+			}
+			// Warm up outside the timer: spawn the apply runners, size the
+			// pooled sub-batches and every shard's scratch to steady state.
+			for i := 0; i < 2; i++ {
+				if err := f.Commit(ops); err != nil {
+					b.Fatal(err)
+				}
+				if err := f.Commit(inv); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Commit(ops); err != nil {
+					b.Fatal(err)
+				}
+				if err := f.Commit(inv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedEnumerate measures the federated gather: one op is one
+// full enumeration of the result across K shard snapshots. gather=concat
+// streams a free-shard-key query's shards back to back (no merge state);
+// gather=aggregate merges a bound-shard-key query's multiplicities per
+// distinct tuple before yielding.
+func BenchmarkShardedEnumerate(b *testing.B) {
+	cases := []struct {
+		name string
+		q    string
+	}{
+		{"gather=concat", "Q(A, B, C) = R(A, B), S(A, C)"},
+		{"gather=aggregate", "Q(B, C) = R(A, B), S(A, C)"},
+	}
+	for _, c := range cases {
+		q := query.MustParse(c.q)
+		for _, k := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/K=%d", c.name, k), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(29))
+				f, err := federation.New(q, federation.Options{
+					Shards: k,
+					Engine: core.Options{Mode: viewtree.Dynamic, Epsilon: 0.5, Workers: 1},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer f.Close()
+				db := naive.Database{}
+				for _, a := range q.Atoms {
+					if _, ok := db[a.Rel]; ok {
+						continue
+					}
+					r := relation.New(a.Rel, a.Vars)
+					for i := 0; i < benchN; i++ {
+						t := make(tuple.Tuple, len(a.Vars))
+						t[0] = rng.Int63n(int64(benchN) / 8)
+						for j := 1; j < len(t); j++ {
+							t[j] = rng.Int63n(int64(benchN))
+						}
+						r.Set(t, 1)
+					}
+					db[a.Rel] = r
+				}
+				if err := f.Preprocess(db); err != nil {
+					b.Fatal(err)
+				}
+				s := f.Snapshot()
+				defer s.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n := 0
+					s.Enumerate(func(t tuple.Tuple, m int64) bool { n++; return true })
+					if n == 0 {
+						b.Fatal("empty result")
+					}
+				}
+			})
+		}
 	}
 }

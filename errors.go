@@ -5,14 +5,15 @@ import (
 	"fmt"
 
 	"ivmeps/internal/core"
+	"ivmeps/internal/federation"
 	"ivmeps/internal/relation"
 )
 
 // Every data-validation rejection of the mutation and snapshot paths is
 // programmable: it is either one of the sentinel values below (match with
 // errors.Is — the values may arrive wrapped with call-site context) or one
-// of the structured types ArityError and MultiplicityError (match with
-// errors.As); none of them requires matching on error strings. Caller-side
+// of the structured types ArityError, MultiplicityError, and ShardError
+// (match with errors.As); none of them requires matching on error strings. Caller-side
 // lifecycle mistakes that no program should branch on — Load after Build,
 // Build called twice, a non-positive initial multiplicity, mismatched
 // rows/mults lengths, committing another engine's Batch — remain plain
@@ -64,13 +65,43 @@ func (e *MultiplicityError) Error() string {
 		e.Relation, e.Row, -e.Delta, e.Have)
 }
 
+// ShardError reports a validation failure detected by one shard of a
+// Sharded engine's federated commit, identifying the shard. It wraps the
+// underlying error — typically a MultiplicityError for a delete the owning
+// shard rejected — so errors.Is and errors.As reach through it; match the
+// shard attribution itself with errors.As:
+//
+//	var se *ivmeps.ShardError
+//	if errors.As(err, &se) { ... se.Shard ...
+//
+// Failures detected before any shard is involved — an unknown relation or
+// an arity mismatch, caught while scattering the batch — carry no shard
+// attribution and are returned without a ShardError wrapper, exactly as an
+// unsharded engine returns them.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+// Error formats the shard-attributed failure.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("ivmeps: shard %d: %v", e.Shard, e.Err)
+}
+
+// Unwrap exposes the shard's error to errors.Is / errors.As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
 // wrapErr maps the engine's internal structured errors onto the public
-// ArityError / MultiplicityError types. Sentinels pass through untouched —
-// they are shared by value with the internal layers, so errors.Is matches
-// without translation — as does anything else.
+// ArityError / MultiplicityError / ShardError types. Sentinels pass through
+// untouched — they are shared by value with the internal layers, so
+// errors.Is matches without translation — as does anything else.
 func wrapErr(err error) error {
 	if err == nil {
 		return nil
+	}
+	var se *federation.ShardError
+	if errors.As(err, &se) {
+		return &ShardError{Shard: se.Shard, Err: wrapErr(se.Err)}
 	}
 	var ae *relation.ArityError
 	if errors.As(err, &ae) {

@@ -21,6 +21,12 @@ import (
 // after growth and which keys sit in the light parts — may differ within
 // the allowed invariants, exactly as a different update order would.
 //
+// The commit is internally two-phase, and the phases are exported
+// (PrepareCommit / ApplyPrepared / AbortPrepared) so a federation of
+// engines can coordinate an atomic commit across shards: validate on every
+// shard first, apply everywhere only if every shard accepted. CommitBatch
+// is the single-engine composition of the two phases under one lock hold.
+//
 // With Options.Workers > 1 the per-tree propagations of a batch run on a
 // worker pool (worker.go). The propagation work is phased so that parallel
 // sections only ever write views of distinct trees and only read the
@@ -47,11 +53,25 @@ import (
 // {Row → Mult} applied to relation Rel. Mult > 0 inserts, Mult < 0 deletes,
 // Mult == 0 is skipped. The Row slice is referenced, not copied, until the
 // commit returns.
+//
+// RelID optionally carries the relation pre-resolved via Engine.RelID so
+// commit validation skips the per-op name lookup; 0 (the zero value) means
+// "resolve Rel by name". A nonzero RelID takes precedence over Rel — it
+// must come from RelID on the same engine; Rel is still used for error
+// messages.
 type BatchOp struct {
-	Rel  string
-	Row  tuple.Tuple
-	Mult int64
+	Rel   string
+	RelID int
+	Row   tuple.Tuple
+	Mult  int64
 }
+
+// RelID returns the engine's stable identifier for an original relation
+// name: a positive index assigned at construction time (first-occurrence
+// order over the query's atoms), or 0 if the relation does not occur in
+// the query. Stamping it into BatchOp.RelID lets batch builders resolve
+// each relation once instead of once per commit validation pass.
+func (e *Engine) RelID(name string) int { return e.relIdx[name] }
 
 // CommitBatch applies a sequence of updates spanning any of the query's
 // relations as one atomic maintenance commit. The ops are validated first,
@@ -80,24 +100,81 @@ func (e *Engine) CommitBatch(ops []BatchOp) error {
 	// post-batch state; one captured before observes the pre-batch state.
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.commitBatch(ops)
+	if err := e.prepareLocked(ops); err != nil {
+		return err
+	}
+	if len(ops) == 0 {
+		// An empty batch validates trivially but commits nothing and
+		// publishes no epoch.
+		e.releaseStagedLocked()
+		return nil
+	}
+	e.applyStagedLocked()
+	return nil
+}
+
+// PrepareCommit is the first half of a two-phase commit: it acquires the
+// engine's writer lock and validates the batch exactly as CommitBatch
+// does. On an error the lock is released and the engine is untouched. On
+// success the validated batch stays staged and THE WRITER LOCK REMAINS
+// HELD — the engine admits no other write and no snapshot capture — until
+// the caller resolves the prepared state with exactly one ApplyPrepared or
+// AbortPrepared call (from any goroutine). The ops (and the rows they
+// reference) must stay unmodified until then.
+//
+// The split exists for multi-engine coordinators (internal/federation):
+// prepare every shard, and only when all of them accepted, apply all of
+// them — an error on any shard aborts the others untouched, preserving
+// all-or-nothing across engines.
+func (e *Engine) PrepareCommit(ops []BatchOp) error {
+	e.mu.Lock()
+	if err := e.prepareLocked(ops); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// ApplyPrepared is the second half of a two-phase commit: it applies the
+// batch staged by a successful PrepareCommit, publishes one epoch, and
+// releases the writer lock. It panics if no prepared batch is staged.
+func (e *Engine) ApplyPrepared() {
+	if !e.staged {
+		panic("core: ApplyPrepared without a successful PrepareCommit")
+	}
+	e.applyStagedLocked()
+	e.mu.Unlock()
+}
+
+// AbortPrepared discards the batch staged by a successful PrepareCommit —
+// the engine state, including its epoch, is exactly as before the prepare
+// — and releases the writer lock. It panics if no prepared batch is
+// staged.
+func (e *Engine) AbortPrepared() {
+	if !e.staged {
+		panic("core: AbortPrepared without a successful PrepareCommit")
+	}
+	e.releaseStagedLocked()
+	e.mu.Unlock()
 }
 
 // ApplyBatch applies the updates {rows[i] → mults[i]} to the single
 // relation rel as one batch: a thin wrapper assembling a one-relation op
-// list for the commitBatch path (the op buffer is pooled, so the wrapper
-// adds no steady-state allocation). A nil mults applies every row with
-// multiplicity +1. Validation and atomicity follow CommitBatch: on any
-// error the engine is left completely unchanged.
+// list for the commit path (the op buffer is pooled, so the wrapper adds
+// no steady-state allocation; the relation resolves once, not per op).
+// A nil mults applies every row with multiplicity +1. Validation and
+// atomicity follow CommitBatch: on any error the engine is left
+// completely unchanged.
 func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error {
 	if mults != nil && len(mults) != len(rows) {
 		return fmt.Errorf("core: ApplyBatch: %d rows but %d multiplicities", len(rows), len(mults))
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.occ[rel]; !ok {
-		// Resolved before the empty-batch fast path inside commitBatch, so
-		// a mis-spelled relation is reported even with zero rows.
+	id := e.relIdx[rel]
+	if id == 0 {
+		// Resolved before the empty-batch fast path, so a mis-spelled
+		// relation is reported even with zero rows.
 		return fmt.Errorf("core: %w: %q (query %s)", ErrUnknownRelation, rel, e.orig)
 	}
 	ops := e.opsScratch[:0]
@@ -106,60 +183,74 @@ func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error
 		if mults != nil {
 			m = mults[i]
 		}
-		ops = append(ops, BatchOp{Rel: rel, Row: r, Mult: m})
+		ops = append(ops, BatchOp{Rel: rel, RelID: id, Row: r, Mult: m})
 	}
-	err := e.commitBatch(ops)
+	var err error
+	if err = e.prepareLocked(ops); err == nil {
+		if len(ops) == 0 {
+			e.releaseStagedLocked()
+		} else {
+			e.applyStagedLocked()
+		}
+	}
 	clear(ops) // drop the references into the caller's rows
 	e.opsScratch = ops[:0]
 	return err
 }
 
-// commitBatch is the locked body of CommitBatch and ApplyBatch.
-func (e *Engine) commitBatch(ops []BatchOp) error {
+// prepareLocked validates the whole batch in op order under the writer
+// lock, tracking the running multiplicity of each distinct
+// (relation, tuple) and aggregating the net delta per tuple in first-seen
+// order. All grouping state — the per-relation slots (one fixed slot per
+// query relation, indexed by RelID), their tuple-keyed maps, and the group
+// lists — is pooled on the engine (keys reference the caller's rows until
+// the staged batch is applied or released), so repeated batches validate
+// without allocating. Ops carrying a pre-resolved RelID skip the name
+// lookup entirely; unresolved ops keep a last-name fast path in front of
+// the map, since ingest streams are usually runs of one relation.
+//
+// On success the aggregated groups stay staged on the engine
+// (e.batchTouched / e.batchSlots) for applyStagedLocked; on an error every
+// slot is released and the engine is untouched.
+func (e *Engine) prepareLocked(ops []BatchOp) error {
 	if !e.preprocessed {
 		return fmt.Errorf("core: batch commit: %w (run Preprocess first)", ErrNotBuilt)
 	}
 	if e.opts.Mode != viewtree.Dynamic {
 		return fmt.Errorf("core: %w; rebuild with Mode: Dynamic for updates", ErrStatic)
 	}
-	if len(ops) == 0 {
-		return nil
-	}
-	if e.batchRelIdx == nil {
-		e.batchRelIdx = make(map[string]int)
-	}
-
-	// Validate the whole batch in op order, tracking the running
-	// multiplicity of each distinct (relation, tuple) and aggregating the
-	// net delta per tuple in first-seen order. All grouping state — the
-	// relation slots, their tuple-keyed maps, and the group lists — is
-	// pooled on the engine (keys reference the caller's rows for the
-	// duration of the call), so repeated batches validate without
-	// allocating. Ingest streams are usually runs of one relation, so the
-	// relation resolution keeps a last-op fast path in front of the map.
-	rels := e.batchRels[:0]
 	applied := 0
-	lastRel, lastIdx := "", -1
+	lastID := 0
+	resolvedID, resolvedName := 0, ""
+	var br *batchRelState
 	var err error
 	for i := range ops {
 		op := &ops[i]
-		if op.Rel != lastRel || lastIdx < 0 {
-			idx, ok := e.batchRelIdx[op.Rel]
-			if !ok {
-				occ, inQuery := e.occ[op.Rel]
-				if !inQuery {
+		id := op.RelID
+		if id == 0 {
+			if resolvedID == 0 || op.Rel != resolvedName {
+				resolvedID = e.relIdx[op.Rel]
+				if resolvedID == 0 {
 					err = fmt.Errorf("core: %w: %q (query %s)", ErrUnknownRelation, op.Rel, e.orig)
 					break
 				}
-				idx = len(rels)
-				rels = appendBatchRel(rels, op.Rel, occ, e.base[occ[0]])
-				e.batchRelIdx[op.Rel] = idx
+				resolvedName = op.Rel
 			}
-			lastRel, lastIdx = op.Rel, idx
+			id = resolvedID
+		} else if id < 1 || id > len(e.batchSlots) {
+			err = fmt.Errorf("core: %w: %q (op %d carries invalid relation id %d)", ErrUnknownRelation, op.Rel, i, id)
+			break
 		}
-		br := &rels[lastIdx]
+		if id != lastID {
+			br = &e.batchSlots[id-1]
+			if !br.touched {
+				br.touched = true
+				e.batchTouched = append(e.batchTouched, id)
+			}
+			lastID = id
+		}
 		if len(op.Row) != br.arity {
-			err = &relation.ArityError{Relation: op.Rel, Tuple: op.Row.Clone(), Schema: br.first.Schema()}
+			err = &relation.ArityError{Relation: br.rel, Tuple: op.Row.Clone(), Schema: br.first.Schema()}
 			break
 		}
 		if op.Mult == 0 {
@@ -176,7 +267,7 @@ func (e *Engine) commitBatch(ops []BatchOp) error {
 		}
 		g := &br.groups[gi]
 		if g.stored+g.net+op.Mult < 0 {
-			err = &relation.MultiplicityError{Relation: op.Rel, Tuple: op.Row.Clone(),
+			err = &relation.MultiplicityError{Relation: br.rel, Tuple: op.Row.Clone(),
 				Have: g.stored + g.net, Delta: op.Mult}
 			break
 		}
@@ -185,18 +276,29 @@ func (e *Engine) commitBatch(ops []BatchOp) error {
 	}
 	if err != nil {
 		// All-or-nothing: no base relation or view has been touched yet.
-		e.releaseBatchRels(rels)
+		e.releaseStagedLocked()
 		return err
 	}
+	e.stagedApplied = applied
+	e.staged = true
+	return nil
+}
 
-	// Apply relation-major, in first-touched order: one aggregated delta
-	// per relation (zero-net tuples drop out), run through every
-	// occurrence's routes. Each relation's validation state only reads its
-	// own pre-batch multiplicities, so earlier relations' propagation (and
-	// even a major rebalance it triggers) cannot invalidate later groups.
+// applyStagedLocked applies a batch staged by prepareLocked: relation-
+// major, in first-touched order — one aggregated delta per relation
+// (zero-net tuples drop out), run through every occurrence's routes. Each
+// relation's validation state only reads its own pre-batch
+// multiplicities, so earlier relations' propagation cannot invalidate
+// later groups. The major-rebalance trigger is evaluated once, after
+// every relation's pass (rebalanceBatchLocked), and the whole commit
+// publishes one epoch.
+func (e *Engine) applyStagedLocked() {
+	// The commit will mutate relations: release the cached snapshot
+	// generation first so an idle cache does not force copy-on-write.
+	e.invalidateGenLocked()
 	touched := 0
-	for ri := range rels {
-		br := &rels[ri]
+	for _, id := range e.batchTouched {
+		br := &e.batchSlots[id-1]
 		d := e.ws0.getDelta()
 		for gi := range br.groups {
 			if br.groups[gi].net != 0 {
@@ -215,13 +317,42 @@ func (e *Engine) commitBatch(ops []BatchOp) error {
 		}
 		e.ws0.putDelta(d)
 	}
-	e.releaseBatchRels(rels)
-	e.stats.Updates += int64(applied)
+	e.rebalanceBatchLocked()
+	e.stats.Updates += int64(e.stagedApplied)
 	e.stats.Batches++
 	e.stats.BatchRelations += int64(touched)
 	e.flushWorkerStats()
+	e.releaseStagedLocked()
 	e.epoch++ // commit point: publish the post-batch state to future snapshots
-	return nil
+}
+
+// rebalanceBatchLocked is the commit-boundary major-rebalance trigger
+// (Figure 22 lines 2–7, hoisted from per-update to per-commit): if the
+// whole batch left N outside [⌊M/4⌋, M), adjust M until the size
+// invariant holds again (a large batch can cross several doublings at
+// once) and recompute everything. Evaluating the trigger once per commit
+// — after every relation's pass — is deliberate hysteresis: a batch whose
+// early relations barely cross an M doubling and whose later relations
+// shrink N back re-materializes zero times, where a per-relation trigger
+// re-materialized on the way up and again on the way down. Within a pass
+// the stale M only affects rebalancing heuristics (θ), never view
+// contents, and the strict repartition here subsumes any interim light
+// routing.
+func (e *Engine) rebalanceBatchLocked() {
+	if e.n < e.m && e.n >= e.m/4 {
+		return
+	}
+	for e.n >= e.m {
+		e.setM(2 * e.m)
+	}
+	for e.n < e.m/4 {
+		old := e.m
+		e.setM(e.m/2 - 1)
+		if e.m == old {
+			break
+		}
+	}
+	e.majorRebalance()
 }
 
 // batchGroup is the per-distinct-tuple validation state of one batch.
@@ -231,44 +362,38 @@ type batchGroup struct {
 	stored int64
 }
 
-// batchRelState is the pooled per-relation grouping state of one commit:
-// the relation's occurrence list, its tuple-keyed validation map, and the
-// distinct-tuple group list in first-seen order.
+// batchRelState is the pooled per-relation grouping state of commits.
+// Every query relation owns one fixed slot (e.batchSlots[RelID-1], built
+// at construction): the relation's occurrence list and arity are resolved
+// once per engine, and the tuple-keyed validation map and distinct-tuple
+// group list are reset (capacity kept) rather than reallocated across
+// batches.
 type batchRelState struct {
-	rel    string
-	occ    []string
-	first  *relation.Relation
-	arity  int
-	val    tuple.IntMap
-	groups []batchGroup
+	rel     string
+	occ     []string
+	first   *relation.Relation
+	arity   int
+	touched bool // slot is on e.batchTouched for the staged batch
+	val     tuple.IntMap
+	groups  []batchGroup
 }
 
-// appendBatchRel appends a relation slot to rels, reusing the map and group
-// buffers of a previously pooled slot when the slice grows within capacity.
-func appendBatchRel(rels []batchRelState, rel string, occ []string, first *relation.Relation) []batchRelState {
-	if len(rels) < cap(rels) {
-		rels = rels[:len(rels)+1]
-		br := &rels[len(rels)-1]
-		br.rel, br.occ, br.first, br.arity = rel, occ, first, len(first.Schema())
-		return rels
-	}
-	return append(rels, batchRelState{rel: rel, occ: occ, first: first, arity: len(first.Schema())})
-}
-
-// releaseBatchRels returns the per-relation grouping scratch to the
-// engine's pool with every reference into the caller's rows dropped (on
-// success and on every validation error alike), so a failed batch does not
-// stay pinned by the pooled maps and group lists.
-func (e *Engine) releaseBatchRels(rels []batchRelState) {
-	for i := range rels {
-		br := &rels[i]
+// releaseStagedLocked returns the touched per-relation grouping slots to
+// their pooled state with every reference into the caller's rows dropped
+// (after an apply, an abort, and on every validation error alike), so a
+// failed or aborted batch does not stay pinned by the pooled maps and
+// group lists.
+func (e *Engine) releaseStagedLocked() {
+	for _, id := range e.batchTouched {
+		br := &e.batchSlots[id-1]
 		clear(br.groups)
 		br.groups = br.groups[:0]
 		br.val.Reset()
-		br.rel, br.occ, br.first = "", nil, nil
+		br.touched = false
 	}
-	e.batchRels = rels[:0]
-	clear(e.batchRelIdx)
+	e.batchTouched = e.batchTouched[:0]
+	e.staged = false
+	e.stagedApplied = 0
 }
 
 // batchKey is the per-distinct-partition-key state of one batch. The key
@@ -296,8 +421,11 @@ func appendBatchKey(keys []batchKey, key tuple.Tuple, preDeg int, preLight bool)
 
 // applyBatchOcc applies the aggregated batch delta d to one occurrence
 // relation: UpdateTrees (Figure 19) with the per-update work hoisted to
-// per-batch or per-distinct-key, followed by the OnUpdate rebalancing
-// trigger (Figure 22) evaluated once.
+// per-batch or per-distinct-key, followed by the minor-rebalancing checks
+// evaluated once per distinct key. The major-rebalance trigger is NOT
+// evaluated here — it is deferred to the commit boundary
+// (rebalanceBatchLocked), so a multi-relation commit whose interim sizes
+// oscillate across a threshold re-materializes at most once.
 func (e *Engine) applyBatchOcc(rt *relRoutes, d *delta) {
 	base := rt.base
 
@@ -360,33 +488,16 @@ func (e *Engine) applyBatchOcc(rt *relRoutes, d *delta) {
 		e.refreshBatchH(ir, d)
 	}
 
-	// Major rebalancing, if the batch moved N outside [⌊M/4⌋, M): adjust M
-	// until the size invariant holds again (a large batch can cross several
-	// doublings at once) and recompute. The strict repartition also
-	// re-derives every light part, so the per-key light routing below is
-	// subsumed.
-	if e.n >= e.m || e.n < e.m/4 {
-		for e.n >= e.m {
-			e.setM(2 * e.m)
-		}
-		for e.n < e.m/4 {
-			old := e.m
-			e.setM(e.m/2 - 1)
-			if e.m == old {
-				break
-			}
-		}
-		e.majorRebalance()
-		return
-	}
-
 	// Route to the light parts, one combined delta per partition: a key's
 	// rows go to the light part if the key was new or light before the
 	// batch; then run the minor-rebalancing checks once per distinct key.
 	// The light part is updated before its propagation phase, and the
 	// LightAtom paths of the main trees and the indicator L trees are
 	// disjoint tree sets, so the per-tree jobs parallelize; the ∃H
-	// refresh/propagate pairs after the phase stay sequential.
+	// refresh/propagate pairs after the phase stay sequential. If the
+	// batch drove N outside the size invariant, θ is stale for these
+	// checks — harmless, since the commit-boundary rebalance strictly
+	// repartitions everything afterwards.
 	theta := e.Theta()
 	for pi, pr := range rt.parts {
 		keys := perPart[pi]

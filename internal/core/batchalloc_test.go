@@ -153,9 +153,8 @@ func TestApplyBatchErrorReleasesScratch(t *testing.T) {
 	if err := e.ApplyBatch("R", []tuple.Tuple{{1, 2}, {3, 4, 5}}, nil); err == nil {
 		t.Fatal("arity-mismatched batch accepted")
 	}
-	pooled := e.batchRels[:cap(e.batchRels)]
-	for i := range pooled {
-		br := &pooled[i]
+	for i := range e.batchSlots {
+		br := &e.batchSlots[i]
 		if n := br.val.Len(); n != 0 {
 			t.Errorf("pooled relation slot %d: validation map holds %d entries after failed batches, want 0", i, n)
 		}
@@ -164,11 +163,14 @@ func TestApplyBatchErrorReleasesScratch(t *testing.T) {
 				t.Errorf("pooled group %d/%d still references a caller row after failed batches", i, j)
 			}
 		}
-		if br.occ != nil || br.first != nil {
-			t.Errorf("pooled relation slot %d still references relation state after failed batches", i)
+		if br.touched {
+			t.Errorf("pooled relation slot %d still marked touched after failed batches", i)
 		}
 	}
-	if len(e.batchRelIdx) != 0 {
-		t.Errorf("relation index holds %d entries after failed batches, want 0", len(e.batchRelIdx))
+	if len(e.batchTouched) != 0 {
+		t.Errorf("touched-slot list holds %d entries after failed batches, want 0", len(e.batchTouched))
+	}
+	if e.staged || e.stagedApplied != 0 {
+		t.Errorf("staged state survives failed batches: staged=%v applied=%d", e.staged, e.stagedApplied)
 	}
 }

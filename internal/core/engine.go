@@ -100,21 +100,31 @@ type Engine struct {
 	pool     *workerPool
 	cleanup  runtime.Cleanup
 
-	// Pooled batch-commit scratch (batch.go): the per-relation slots of the
-	// all-or-nothing validation pass (tuple-keyed maps and group lists plus
-	// the relation-name index), the ApplyBatch wrapper's op buffer, the
-	// per-partition key-grouping table and batchKey lists, the refreshBatchH
-	// distinct-key set, and the arena backing the distinct partition keys of
-	// one occurrence pass. All are reset (capacity kept) rather than
-	// reallocated, so repeated batches on one engine allocate only for
-	// genuinely new entries.
-	batchRels   []batchRelState
-	batchRelIdx map[string]int
-	opsScratch  []BatchOp
-	groupMap    tuple.IntMap
-	seenKeys    tuple.IntMap
-	batchKeyBuf tuple.Tuple
-	perPart     [][]batchKey
+	// Relation table: relNames lists the original relation names in
+	// first-occurrence order and relIdx maps a name to its RelID (index+1;
+	// 0 means unknown). Built once at construction; BatchOp.RelID indexes
+	// into it so batch validation skips per-op name lookups.
+	relNames []string
+	relIdx   map[string]int
+
+	// Pooled batch-commit scratch (batch.go): one fixed per-relation slot
+	// per query relation (indexed by RelID−1) holding the tuple-keyed maps
+	// and group lists of the all-or-nothing validation pass, the
+	// first-touched slot order of the staged batch, the ApplyBatch
+	// wrapper's op buffer, the per-partition key-grouping table and
+	// batchKey lists, the refreshBatchH distinct-key set, and the arena
+	// backing the distinct partition keys of one occurrence pass. All are
+	// reset (capacity kept) rather than reallocated, so repeated batches on
+	// one engine allocate only for genuinely new entries.
+	batchSlots    []batchRelState
+	batchTouched  []int
+	staged        bool // a validated batch is staged (PrepareCommit succeeded)
+	stagedApplied int  // nonzero-mult ops of the staged batch
+	opsScratch    []BatchOp
+	groupMap      tuple.IntMap
+	seenKeys      tuple.IntMap
+	batchKeyBuf   tuple.Tuple
+	perPart       [][]batchKey
 
 	// treeID densely numbers every view tree (main, All, L) of the forest;
 	// jobGroups queues the propagation jobs of one batch phase, one group
@@ -148,6 +158,13 @@ type Engine struct {
 	// ApplyBatch (major rebalances happen inside those operations and
 	// publish with them) — and stamped onto snapshots.
 	epoch uint64
+
+	// curGen caches the frozen relation generation of the current epoch so
+	// repeated Snapshot calls between commits are O(1): the first capture
+	// after a commit walks the forest and freezes every relation once,
+	// later captures just take a reference. Every mutating operation
+	// invalidates it (invalidateGenLocked) before touching any relation.
+	curGen *snapGen
 
 	n int // current database size (sum of distinct-tuple counts, per original relation)
 	m int // threshold base M with ⌊M/4⌋ ≤ N < M
@@ -262,6 +279,20 @@ func New(q *query.Query, opts Options) (*Engine, error) {
 	// ∃H relations.
 	for _, ind := range forest.Indicators {
 		e.hrels[ind.ID] = relation.New(ind.Name, ind.Keys)
+	}
+
+	// Relation table and the fixed per-relation batch slots, one per
+	// original relation in first-occurrence order. Resolving occurrence
+	// lists, schemas, and arities here means batch validation never
+	// touches them per commit.
+	e.relNames = e.orig.RelationNames()
+	e.relIdx = make(map[string]int, len(e.relNames))
+	e.batchSlots = make([]batchRelState, len(e.relNames))
+	for i, name := range e.relNames {
+		e.relIdx[name] = i + 1
+		occ := e.occ[name]
+		first := e.base[occ[0]]
+		e.batchSlots[i] = batchRelState{rel: name, occ: occ, first: first, arity: len(first.Schema())}
 	}
 
 	// Variable slots.

@@ -1,44 +1,111 @@
 package core
 
 import (
+	"sync"
+
 	"ivmeps/internal/relation"
 	"ivmeps/internal/tuple"
 	"ivmeps/internal/viewtree"
 )
 
 // Reader/writer epochs. Every committed write operation (Preprocess, each
-// Update, each ApplyBatch — major rebalances commit inside them) publishes
-// a new epoch under the engine's writer lock. Snapshot, also under the
-// lock, captures the epoch plus a frozen handle (relation.Freeze) for every
-// relation enumeration can reach, so a snapshot always observes one
-// committed state: the one before or the one after any concurrent batch,
-// never a half-applied one. The capture is O(#relations) — it copies no
-// data. When the writer later mutates a pinned relation, the relation
-// detaches its storage copy-on-first-write (see internal/relation), so the
-// snapshot keeps reading the generation it pinned while ingestion proceeds;
-// with no snapshots open the write path pays only an atomic pin-count load
-// per mutation. Closing a snapshot releases its pins; a snapshot that is
-// garbage-collected without Close costs at most one extra detach per
-// relation (the pinned generation is dropped with it), after which the
+// Update, each batch commit — major rebalances commit inside them)
+// publishes a new epoch under the engine's writer lock. Snapshot, also
+// under the lock, captures the epoch plus a frozen handle
+// (relation.Freeze) for every relation enumeration can reach, so a
+// snapshot always observes one committed state: the one before or the one
+// after any concurrent batch, never a half-applied one.
+//
+// The frozen handles are shared through a per-epoch generation (snapGen):
+// the first Snapshot call after a commit walks the forest and freezes
+// every reachable relation once — O(#relations), copying no data — and
+// caches the generation on the engine; every further Snapshot at the same
+// epoch just takes a reference, O(1). Each mutating operation invalidates
+// the cached generation before its first relation write, releasing the
+// pins immediately when no snapshot holds the generation — so an idle
+// cache never forces copy-on-write on the writer. When the writer mutates
+// a relation that open snapshots do pin, the relation detaches its storage
+// copy-on-first-write (see internal/relation), and the snapshots keep
+// reading the generation they pinned while ingestion proceeds. Closing the
+// last snapshot of a stale generation releases its pins; a snapshot that
+// is garbage-collected without Close costs at most one extra detach per
+// relation (its generation's pins are dropped with it), after which the
 // fresh generations start unpinned again.
+
+// snapGen is one cached frozen-relation generation: the node→frozen map
+// every snapshot of one epoch enumerates through, plus the distinct frozen
+// handles to release when the generation dies. refs counts open snapshots;
+// stale is set when the engine moves past the generation's epoch. The pins
+// are released by whoever drops the last interest — the writer
+// (invalidateGenLocked) if no snapshot is open, else the closing of the
+// last snapshot.
+type snapGen struct {
+	mu     sync.Mutex
+	refs   int
+	stale  bool
+	pinned []*relation.Relation
+	rels   map[*viewtree.Node]*relation.Relation
+}
+
+// release drops one snapshot's reference, releasing the generation's pins
+// if it was the last reference to a stale generation.
+func (g *snapGen) release() {
+	g.mu.Lock()
+	g.refs--
+	free := g.refs == 0 && g.stale
+	g.mu.Unlock()
+	if free {
+		for _, f := range g.pinned {
+			f.Release()
+		}
+		g.pinned = nil
+	}
+}
+
+// invalidateGenLocked retires the cached snapshot generation. Every
+// mutating operation calls it under the writer lock BEFORE its first
+// relation write: if no snapshot holds the generation the pins drop right
+// here, so the mutation does not pay a copy-on-write detach for a
+// generation nobody reads; otherwise the open snapshots keep the pins
+// until the last of them closes.
+func (e *Engine) invalidateGenLocked() {
+	g := e.curGen
+	if g == nil {
+		return
+	}
+	e.curGen = nil
+	g.mu.Lock()
+	g.stale = true
+	free := g.refs == 0
+	g.mu.Unlock()
+	if free {
+		for _, f := range g.pinned {
+			f.Release()
+		}
+		g.pinned = nil
+	}
+}
 
 // Snapshot is an immutable view of one committed engine state. It
 // enumerates with its own binding state, concurrently with Update and
 // ApplyBatch on the engine and with other snapshots; the Snapshot itself is
-// not safe for concurrent use — take one snapshot per reader goroutine.
+// not safe for concurrent use — take one snapshot per reader goroutine
+// (snapshots of one epoch share their frozen storage, which is read-only).
 // Close it when done so the writer can stop preserving its generation.
 type Snapshot struct {
 	e      *Engine
 	epoch  uint64
 	work   int64
 	ctx    enumCtx
-	pinned []*relation.Relation // frozen handles to release on Close
+	gen    *snapGen
 	closed bool
 }
 
 // Snapshot captures a read-only view of the current committed state. It
 // may be called from any goroutine; if a batch is in flight, it blocks
-// until the batch commits. The capture itself copies no tuples.
+// until the batch commits. The first capture after a commit freezes every
+// reachable relation once; further captures at the same epoch reuse the
+// cached generation and are O(1). The capture copies no tuples either way.
 func (e *Engine) Snapshot() *Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -47,27 +114,34 @@ func (e *Engine) Snapshot() *Snapshot {
 		// public Enumerate/Rows/Count/All): recover sees ErrNotBuilt itself.
 		panic(ErrNotBuilt)
 	}
-	s := &Snapshot{e: e, epoch: e.epoch}
-	rels := make(map[*viewtree.Node]*relation.Relation)
-	frozen := make(map[*relation.Relation]*relation.Relation)
-	for _, tr := range e.forest.Trees() {
-		walkNodes(tr, func(n *viewtree.Node) {
-			live := e.relOf(n)
-			f, ok := frozen[live]
-			if !ok {
-				f = live.Freeze()
-				frozen[live] = f
-				s.pinned = append(s.pinned, f)
-			}
-			rels[n] = f
-		})
+	g := e.curGen
+	if g == nil {
+		g = &snapGen{rels: make(map[*viewtree.Node]*relation.Relation)}
+		frozen := make(map[*relation.Relation]*relation.Relation)
+		for _, tr := range e.forest.Trees() {
+			walkNodes(tr, func(n *viewtree.Node) {
+				live := e.relOf(n)
+				f, ok := frozen[live]
+				if !ok {
+					f = live.Freeze()
+					frozen[live] = f
+					g.pinned = append(g.pinned, f)
+				}
+				g.rels[n] = f
+			})
+		}
+		e.curGen = g
 	}
+	g.mu.Lock()
+	g.refs++
+	g.mu.Unlock()
+	s := &Snapshot{e: e, epoch: e.epoch, gen: g}
 	s.ctx = enumCtx{
 		e:     e,
 		bind:  make([]tuple.Value, len(e.vars)),
 		bound: make([]bool, len(e.vars)),
 		work:  &s.work,
-		rels:  rels,
+		rels:  g.rels,
 	}
 	return s
 }
@@ -106,16 +180,14 @@ func (s *Snapshot) Enumerate(yield func(t tuple.Tuple, m int64) bool) {
 // snapshot's readers).
 func (s *Snapshot) Work() int64 { return s.work }
 
-// Close releases the snapshot's pins on its relation generations, letting
-// the writer mutate them in place again. It is idempotent; the snapshot
-// must not be used afterwards.
+// Close drops the snapshot's reference on its generation; when the last
+// snapshot of a superseded generation closes, the generation's pins are
+// released and the writer can mutate those relations in place again. It is
+// idempotent; the snapshot must not be used afterwards.
 func (s *Snapshot) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
-	for _, f := range s.pinned {
-		f.Release()
-	}
-	s.pinned = nil
+	s.gen.release()
 }

@@ -116,6 +116,9 @@ func (e *Engine) Update(rel string, t tuple.Tuple, m int64) error {
 	if cur := first.Mult(t); cur+m < 0 {
 		return &relation.MultiplicityError{Relation: rel, Tuple: t.Clone(), Have: cur, Delta: m}
 	}
+	// The update will mutate relations: release the cached snapshot
+	// generation first so an idle cache does not force copy-on-write.
+	e.invalidateGenLocked()
 	// Footnote 2: an update to a repeated relation symbol is a sequence of
 	// updates to each occurrence.
 	for _, o := range occ {

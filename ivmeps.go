@@ -99,6 +99,21 @@
 // updates and with other readers; hold an explicit Snapshot to make several
 // reads observe one state, and Close it promptly — an open snapshot makes
 // the writer copy each relation it touches once per snapshot generation.
+//
+// # Sharding
+//
+// NewSharded federates K independent engines over the same query, for
+// multi-core scaling beyond one engine's worker pool. A hierarchical
+// query's connected component always has variables occurring in every one
+// of its atoms; hashing those shard-key values partitions the component's
+// relations so that tuples on different shards never join, and the
+// per-shard results sum exactly to the unsharded result. Sharded mirrors
+// the Engine API — Load/Build, Insert/Delete/Apply, NewBatch/Commit,
+// Snapshot — with the same atomicity contract extended across shards: a
+// commit is validated on every shard and applied on all of them or none of
+// them, and a snapshot observes every shard at one federation epoch. A
+// shard-detected validation failure arrives wrapped in a ShardError; see
+// Sharded and ShardKey for the routing and gather details.
 package ivmeps
 
 import (

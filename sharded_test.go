@@ -1,0 +1,321 @@
+package ivmeps_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ivmeps"
+)
+
+// shardedPair builds an Engine and a Sharded over the same query and the
+// same initial load, ready for parallel driving.
+func shardedPair(t *testing.T, qs string, k int, rng *rand.Rand, n int, domain int64) (*ivmeps.Engine, *ivmeps.Sharded) {
+	t.Helper()
+	q := ivmeps.MustParseQuery(qs)
+	e, err := ivmeps.New(q, ivmeps.Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ivmeps.NewSharded(q, ivmeps.ShardedOptions{Options: ivmeps.Options{Epsilon: 0.5}, Shards: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range q.Relations() {
+		arity := len(q.Schema(rel))
+		for i := 0; i < n; i++ {
+			row := make([]int64, arity)
+			for j := range row {
+				row[j] = rng.Int63n(domain)
+			}
+			if err := e.Load(rel, row); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Load(rel, row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return e, s
+}
+
+func publicResultMap(enum func(func([]int64, int64) bool)) map[string]int64 {
+	out := map[string]int64{}
+	enum(func(row []int64, m int64) bool {
+		out[fmt.Sprint(row)] = m
+		return true
+	})
+	return out
+}
+
+func requireSameResults(t *testing.T, label string, got, want map[string]int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d result rows, want %d", label, len(got), len(want))
+	}
+	for k, m := range want {
+		if got[k] != m {
+			t.Fatalf("%s: row %s has mult %d, want %d", label, k, got[k], m)
+		}
+	}
+}
+
+// TestShardedMatchesEngine drives the same mixed update stream — single
+// applies and multi-relation batches — through an Engine and Sharded
+// engines at several K, comparing results, N, and snapshot epochs after
+// every commit.
+func TestShardedMatchesEngine(t *testing.T) {
+	const qs = "Q(A, B, C) = R(A, B), S(A, C)"
+	for _, k := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			e, s := shardedPair(t, qs, k, rng, 50, 9)
+			defer e.Close()
+			defer s.Close()
+			if s.Shards() != k {
+				t.Fatalf("Shards() = %d, want %d", s.Shards(), k)
+			}
+
+			requireSameResults(t, "after build", publicResultMap(s.Enumerate), publicResultMap(e.Enumerate))
+			if s.N() != e.N() {
+				t.Fatalf("N = %d, engine N = %d", s.N(), e.N())
+			}
+
+			eb, sb := e.NewBatch(), s.NewBatch()
+			for c := 0; c < 5; c++ {
+				eb.Reset()
+				sb.Reset()
+				for i := 0; i < 25; i++ {
+					rel := []string{"R", "S"}[rng.Intn(2)]
+					row := []int64{rng.Int63n(9), rng.Int63n(9)}
+					eb.Insert(rel, row)
+					sb.Insert(rel, row)
+				}
+				if err := e.Commit(eb); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Commit(sb); err != nil {
+					t.Fatal(err)
+				}
+				row := []int64{rng.Int63n(9), rng.Int63n(9)}
+				if err := e.Insert("R", row); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Insert("R", row); err != nil {
+					t.Fatal(err)
+				}
+				requireSameResults(t, fmt.Sprintf("commit %d", c),
+					publicResultMap(s.Enumerate), publicResultMap(e.Enumerate))
+				es, err := e.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ss, err := s.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if es.Epoch() != ss.Epoch() {
+					t.Fatalf("commit %d: sharded epoch %d, engine epoch %d", c, ss.Epoch(), es.Epoch())
+				}
+				requireSameResults(t, fmt.Sprintf("commit %d snapshot", c),
+					publicResultMap(ss.Enumerate), publicResultMap(es.Enumerate))
+				if ss.Count() != es.Count() {
+					t.Fatalf("commit %d: sharded Count %d, engine %d", c, ss.Count(), es.Count())
+				}
+				es.Close()
+				ss.Close()
+				if s.N() != e.N() {
+					t.Fatalf("commit %d: N = %d, engine N = %d", c, s.N(), e.N())
+				}
+			}
+		})
+	}
+}
+
+// TestShardedApplyBatchParity covers the one-relation convenience.
+func TestShardedApplyBatchParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	e, s := shardedPair(t, "Q(A, B, C) = R(A, B), S(A, C)", 4, rng, 30, 7)
+	defer e.Close()
+	defer s.Close()
+	rows := [][]int64{{1, 2}, {3, 4}, {1, 2}}
+	mults := []int64{2, 1, -1}
+	if err := e.ApplyBatch("R", rows, mults); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyBatch("R", rows, mults); err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "ApplyBatch", publicResultMap(s.Enumerate), publicResultMap(e.Enumerate))
+	if err := s.ApplyBatch("R", rows, []int64{1}); err == nil {
+		t.Error("mismatched rows/mults lengths accepted")
+	}
+}
+
+// TestShardedErrors covers the public error contract of the sharded paths:
+// sentinels, structured errors, shard attribution, and all-or-nothing on
+// failure.
+func TestShardedErrors(t *testing.T) {
+	q := ivmeps.MustParseQuery("Q(A, B, C) = R(A, B), S(A, C)")
+	s, err := ivmeps.NewSharded(q, ivmeps.ShardedOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.Insert("R", []int64{1, 2}); !errors.Is(err, ivmeps.ErrNotBuilt) {
+		t.Errorf("Insert before Build returned %v, want ErrNotBuilt", err)
+	}
+	if err := s.Commit(s.NewBatch()); !errors.Is(err, ivmeps.ErrNotBuilt) {
+		t.Errorf("Commit before Build returned %v, want ErrNotBuilt", err)
+	}
+	if _, err := s.Snapshot(); !errors.Is(err, ivmeps.ErrNotBuilt) {
+		t.Errorf("Snapshot before Build returned %v, want ErrNotBuilt", err)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != ivmeps.ErrNotBuilt {
+				t.Errorf("Enumerate before Build panicked with %v, want ErrNotBuilt", r)
+			}
+		}()
+		s.Enumerate(func([]int64, int64) bool { return true })
+	}()
+	if err := s.Load("nope", []int64{1}); !errors.Is(err, ivmeps.ErrUnknownRelation) {
+		t.Errorf("Load of unknown relation returned %v", err)
+	}
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(); err == nil {
+		t.Error("second Build accepted")
+	}
+
+	if err := s.Insert("nope", []int64{1, 2}); !errors.Is(err, ivmeps.ErrUnknownRelation) {
+		t.Errorf("Insert into unknown relation returned %v", err)
+	}
+	var ae *ivmeps.ArityError
+	if err := s.Insert("R", []int64{1, 2, 3}); !errors.As(err, &ae) {
+		t.Errorf("arity mismatch returned %v, want *ArityError", err)
+	} else if ae.Relation != "R" || len(ae.Schema) != 2 {
+		t.Errorf("ArityError = %+v", ae)
+	}
+	// Shard-detected failure: over-delete. The error carries the shard and
+	// unwraps to the public MultiplicityError; the engine is unchanged.
+	before := publicResultMap(s.Enumerate)
+	b := s.NewBatch()
+	for v := int64(0); v < 16; v++ {
+		b.Insert("R", []int64{v, v})
+	}
+	b.Apply("S", []int64{77, 77}, -2)
+	err = s.Commit(b)
+	if err == nil {
+		t.Fatal("over-deleting batch accepted")
+	}
+	var se *ivmeps.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("shard-detected failure returned %T, want *ShardError", err)
+	}
+	if se.Shard < 0 || se.Shard >= s.Shards() {
+		t.Errorf("ShardError.Shard = %d, want in [0, %d)", se.Shard, s.Shards())
+	}
+	var me *ivmeps.MultiplicityError
+	if !errors.As(err, &me) {
+		t.Errorf("MultiplicityError not reachable through ShardError: %v", err)
+	} else if me.Relation != "S" || me.Have != 0 || me.Delta != -2 {
+		t.Errorf("MultiplicityError = %+v", me)
+	}
+	requireSameResults(t, "failed commit", publicResultMap(s.Enumerate), before)
+
+	// A foreign batch is rejected: engine batches do not commit to sharded
+	// engines and vice versa.
+	e, err := ivmeps.New(q, ivmeps.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(e.NewBatch().Insert("R", []int64{1, 2})); err == nil {
+		t.Error("engine-owned batch accepted by sharded Commit")
+	}
+	if err := e.Commit(s.NewBatch().Insert("R", []int64{1, 2})); err == nil {
+		t.Error("sharded-owned batch accepted by engine Commit")
+	}
+}
+
+// TestShardedShardKey pins the public routing report.
+func TestShardedShardKey(t *testing.T) {
+	s, err := ivmeps.NewSharded(ivmeps.MustParseQuery("Q(A, B, C) = R(A, B), S(A, C)"),
+		ivmeps.ShardedOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	vars, concat := s.ShardKey()
+	if len(vars) != 1 || vars[0] != "A" || !concat {
+		t.Errorf("ShardKey() = %v concat=%v, want [A] concat=true", vars, concat)
+	}
+	boolS, err := ivmeps.NewSharded(ivmeps.MustParseQuery("Q() = R(A, B), S(B)"),
+		ivmeps.ShardedOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boolS.Close()
+	if _, concat := boolS.ShardKey(); concat {
+		t.Error("Boolean query reported a concatenating gather")
+	}
+}
+
+// TestShardedCommitSteadyStateZeroAllocs pins the public sharded commit
+// path — Batch build with id stamping, scatter, two-phase apply across 4
+// shards — at zero heap allocations per warm cycle.
+func TestShardedCommitSteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	_, s := shardedPair(t, "Q(A, B, C) = R(A, B), S(A, C)", 4, rng, 200, 40)
+	defer s.Close()
+	const rows = 32
+	buf := make([][]int64, 2*rows)
+	flat := make([]int64, 4*rows)
+	for i := range buf {
+		buf[i] = flat[2*i : 2*i+2]
+	}
+	b := s.NewBatch()
+	next := int64(9000)
+	cycle := func() {
+		b.Reset()
+		for i := 0; i < rows; i++ {
+			r := buf[2*i]
+			r[0], r[1] = next, next+1
+			b.Insert("R", r)
+			r2 := buf[2*i+1]
+			r2[0], r2[1] = next, next+2
+			b.Insert("S", r2)
+			next += 3
+		}
+		if err := s.Commit(b); err != nil {
+			t.Fatal(err)
+		}
+		b.Reset()
+		for i := 0; i < rows; i++ {
+			b.Delete("R", buf[2*i])
+			b.Delete("S", buf[2*i+1])
+		}
+		if err := s.Commit(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(50, cycle); n != 0 {
+		t.Errorf("steady sharded commit cycle allocates %v per run, want 0", n)
+	}
+}
