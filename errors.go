@@ -7,6 +7,7 @@ import (
 	"ivmeps/internal/core"
 	"ivmeps/internal/federation"
 	"ivmeps/internal/relation"
+	"ivmeps/internal/wal"
 )
 
 // Every data-validation rejection of the mutation and snapshot paths is
@@ -91,10 +92,40 @@ func (e *ShardError) Error() string {
 // Unwrap exposes the shard's error to errors.Is / errors.As.
 func (e *ShardError) Unwrap() error { return e.Err }
 
+// CorruptLogError reports write-ahead log or checkpoint data that is
+// present but wrong — a checksum mismatch, a malformed record, an epoch
+// discontinuity between checkpoint and log tail. It is NOT returned for the
+// one damage class a crash legitimately produces, a torn final record,
+// which Open truncates silently; a CorruptLogError means the directory
+// cannot be trusted to reproduce a committed state, and recovery refuses to
+// guess. Match it with errors.As:
+//
+//	var cle *ivmeps.CorruptLogError
+//	if errors.As(err, &cle) { ... cle.Path ...
+type CorruptLogError struct {
+	// Path is the offending file (or the log directory when the violation
+	// spans files).
+	Path string
+	// Offset is the byte offset of the offending frame within Path, when
+	// the violation is tied to one.
+	Offset int64
+	// Reason describes the violation.
+	Reason string
+}
+
+// Error formats the corruption report.
+func (e *CorruptLogError) Error() string {
+	if e.Offset == 0 {
+		return fmt.Sprintf("ivmeps: corrupt log: %s: %s", e.Path, e.Reason)
+	}
+	return fmt.Sprintf("ivmeps: corrupt log: %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
 // wrapErr maps the engine's internal structured errors onto the public
-// ArityError / MultiplicityError / ShardError types. Sentinels pass through
-// untouched — they are shared by value with the internal layers, so
-// errors.Is matches without translation — as does anything else.
+// ArityError / MultiplicityError / ShardError / CorruptLogError types.
+// Sentinels pass through untouched — they are shared by value with the
+// internal layers, so errors.Is matches without translation — as does
+// anything else.
 func wrapErr(err error) error {
 	if err == nil {
 		return nil
@@ -102,6 +133,10 @@ func wrapErr(err error) error {
 	var se *federation.ShardError
 	if errors.As(err, &se) {
 		return &ShardError{Shard: se.Shard, Err: wrapErr(se.Err)}
+	}
+	var ce *wal.CorruptError
+	if errors.As(err, &ce) {
+		return &CorruptLogError{Path: ce.Path, Offset: ce.Offset, Reason: ce.Reason}
 	}
 	var ae *relation.ArityError
 	if errors.As(err, &ae) {

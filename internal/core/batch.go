@@ -56,9 +56,9 @@ import (
 //
 // RelID optionally carries the relation pre-resolved via Engine.RelID so
 // commit validation skips the per-op name lookup; 0 (the zero value) means
-// "resolve Rel by name". A nonzero RelID takes precedence over Rel — it
-// must come from RelID on the same engine; Rel is still used for error
-// messages.
+// "resolve Rel by name", and validation stamps the resolved id back into
+// the op. A nonzero RelID takes precedence over Rel — it must come from
+// RelID on the same engine; Rel is still used for error messages.
 type BatchOp struct {
 	Rel   string
 	RelID int
@@ -108,6 +108,16 @@ func (e *Engine) CommitBatch(ops []BatchOp) error {
 		// publishes no epoch.
 		e.releaseStagedLocked()
 		return nil
+	}
+	// Durability point: the validated op stream reaches the commit log (if
+	// any) before the first relation write, and a hook error aborts with the
+	// engine untouched. Apply cannot fail after validation, so a logged
+	// batch is a committed batch.
+	if e.commitHook != nil {
+		if err := e.commitHook(e.epoch+1, ops); err != nil {
+			e.releaseStagedLocked()
+			return err
+		}
 	}
 	e.applyStagedLocked()
 	return nil
@@ -189,6 +199,13 @@ func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error
 	if err = e.prepareLocked(ops); err == nil {
 		if len(ops) == 0 {
 			e.releaseStagedLocked()
+		} else if e.commitHook != nil {
+			// Same durability point as CommitBatch: log, then apply.
+			if err = e.commitHook(e.epoch+1, ops); err != nil {
+				e.releaseStagedLocked()
+			} else {
+				e.applyStagedLocked()
+			}
 		} else {
 			e.applyStagedLocked()
 		}
@@ -237,6 +254,11 @@ func (e *Engine) prepareLocked(ops []BatchOp) error {
 				resolvedName = op.Rel
 			}
 			id = resolvedID
+			// Stamp the resolution back so downstream consumers of the
+			// validated stream (the commit hook) see resolved ids without a
+			// second lookup pass. Re-submitting the ops stays valid: the id
+			// is stable for the engine's lifetime.
+			op.RelID = id
 		} else if id < 1 || id > len(e.batchSlots) {
 			err = fmt.Errorf("core: %w: %q (op %d carries invalid relation id %d)", ErrUnknownRelation, op.Rel, i, id)
 			break

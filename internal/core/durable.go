@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"ivmeps/internal/relation"
+)
+
+// Durability hooks. The engine itself stores nothing on disk; instead the
+// commit paths expose exactly the two primitives a write-ahead log needs:
+//
+//   - a commit hook observing every validated op stream before it is
+//     applied (SetCommitHook) — because validation is complete and apply is
+//     infallible at that point, "logged" and "committed" coincide: a crash
+//     after the hook returns replays the batch, a crash before it leaves a
+//     log without the record and an engine without the batch;
+//   - a checkpoint capture (BaseState) freezing the base relations and the
+//     epoch under one writer-lock hold, so a checkpoint serializes one
+//     committed state without stalling subsequent commits — everything else
+//     the engine holds is re-derived from the base relations by Preprocess
+//     at recovery time (with the usual implementation-defined latitude in M
+//     and the light parts; the enumerated result, N, and the epoch are
+//     exact).
+//
+// Recovery runs Preprocess over the checkpointed base relations, seats the
+// epoch with RestoreEpoch, and replays the log tail through the normal
+// CommitBatch path with no hook attached (replayed commits are already in
+// the log).
+
+// CommitHook observes one validated commit before it is applied: epoch is
+// the epoch the commit will publish and ops is its validated op stream,
+// with every op's RelID resolved. The hook runs under the writer lock; the
+// ops and their rows are valid only for the duration of the call. A hook
+// error fails the commit with the engine completely unchanged — exactly
+// like a validation error.
+//
+// The two-phase federation path (PrepareCommit/ApplyPrepared) does not
+// invoke the hook: a federation coordinator owns the cross-shard commit
+// protocol and with it the durability story.
+type CommitHook func(epoch uint64, ops []BatchOp) error
+
+// SetCommitHook installs (or, with nil, removes) the engine's commit hook.
+func (e *Engine) SetCommitHook(h CommitHook) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.commitHook = h
+}
+
+// FrozenBase is one base relation captured by BaseState: the original
+// relation name and a frozen read-only handle (first occurrence; all
+// occurrences hold identical content).
+type FrozenBase struct {
+	Name string
+	Rel  *relation.Relation
+}
+
+// BaseState captures the engine's committed epoch and a frozen handle for
+// every original base relation, in first-occurrence order, under one
+// writer-lock hold — the capture is O(#relations) and copies no tuples.
+// The caller must Release every returned handle; until then a writer
+// mutating a captured relation detaches its storage copy-on-first-write,
+// exactly as for snapshots.
+func (e *Engine) BaseState() (uint64, []FrozenBase, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.preprocessed {
+		return 0, nil, fmt.Errorf("core: BaseState: %w (run Preprocess first)", ErrNotBuilt)
+	}
+	rels := make([]FrozenBase, 0, len(e.relNames))
+	for _, name := range e.relNames {
+		rels = append(rels, FrozenBase{Name: name, Rel: e.base[e.occ[name][0]].Freeze()})
+	}
+	return e.epoch, rels, nil
+}
+
+// RestoreEpoch seats the epoch counter at a recovered value. It is meant
+// for the recovery path only, between Preprocess (which left the epoch at
+// 1) and the first replayed commit; the replayed commits then advance it
+// exactly as the original ones did.
+func (e *Engine) RestoreEpoch(epoch uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.epoch = epoch
+}

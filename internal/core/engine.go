@@ -159,6 +159,12 @@ type Engine struct {
 	// publish with them) — and stamped onto snapshots.
 	epoch uint64
 
+	// commitHook, when set, observes every validated commit before it is
+	// applied (durable.go); hookOp is the pooled one-op slice the
+	// single-tuple Update path hands it.
+	commitHook CommitHook
+	hookOp     [1]BatchOp
+
 	// curGen caches the frozen relation generation of the current epoch so
 	// repeated Snapshot calls between commits are O(1): the first capture
 	// after a commit walks the forest and freezes every relation once,

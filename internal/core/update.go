@@ -116,6 +116,17 @@ func (e *Engine) Update(rel string, t tuple.Tuple, m int64) error {
 	if cur := first.Mult(t); cur+m < 0 {
 		return &relation.MultiplicityError{Relation: rel, Tuple: t.Clone(), Have: cur, Delta: m}
 	}
+	// Durability point (see durable.go): a single-tuple update is a one-op
+	// commit — log it after validation, before the first relation write,
+	// through the pooled one-op slice.
+	if e.commitHook != nil {
+		e.hookOp[0] = BatchOp{Rel: rel, RelID: e.relIdx[rel], Row: t, Mult: m}
+		err := e.commitHook(e.epoch+1, e.hookOp[:])
+		e.hookOp[0] = BatchOp{} // drop the reference into the caller's row
+		if err != nil {
+			return err
+		}
+	}
 	// The update will mutate relations: release the cached snapshot
 	// generation first so an idle cache does not force copy-on-write.
 	e.invalidateGenLocked()

@@ -1,7 +1,9 @@
 // Package doclint keeps the repository's documentation from rotting: it
 // checks that every relative link (and heading anchor) in the markdown
-// files resolves, and that every exported Go declaration carries a doc
-// comment. It runs as an ordinary test (`go test ./internal/doclint/`, or
+// files resolves, that every exported Go declaration carries a doc comment,
+// and that every exported name of the public package is reachable from its
+// narrative docs (mentioned in the package comment or exercised by an
+// example). It runs as an ordinary test (`go test ./internal/doclint/`, or
 // `make docs-check`), so the CI docs job fails the moment ARCHITECTURE.md
 // points at a file that was renamed or a new exported API lands
 // undocumented.
@@ -235,4 +237,94 @@ func declKind(fd *ast.FuncDecl) string {
 		return "method"
 	}
 	return "function"
+}
+
+// CheckAPIMentions checks that every exported top-level name of the Go
+// package in dir (methods excluded) is discoverable from its narrative
+// documentation: mentioned in the package doc comment, named by an
+// Example<Name> function, or referenced from the doc or body of some
+// example in the package's _test.go files. A name failing all three is API
+// that godoc lists but nothing explains in context — the gap this linter
+// exists to catch.
+func CheckAPIMentions(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type export struct {
+		name, kind string
+		line       int
+	}
+	var exports []export
+	var pkgDoc strings.Builder
+	var exampleText strings.Builder // example names, docs, and bodies, concatenated
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "Example") {
+					continue
+				}
+				exampleText.WriteString(fd.Name.Name)
+				exampleText.WriteByte('\n')
+				exampleText.WriteString(fd.Doc.Text())
+				if fd.Body != nil {
+					body := src[fset.Position(fd.Body.Lbrace).Offset:fset.Position(fd.Body.Rbrace).Offset]
+					exampleText.Write(body)
+					exampleText.WriteByte('\n')
+				}
+			}
+			continue
+		}
+		pkgDoc.WriteString(file.Doc.Text())
+		for _, decl := range file.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Recv == nil && dd.Name.IsExported() {
+					exports = append(exports, export{dd.Name.Name, "function", fset.Position(dd.Pos()).Line})
+				}
+			case *ast.GenDecl:
+				for _, spec := range dd.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							exports = append(exports, export{sp.Name.Name, "type", fset.Position(sp.Pos()).Line})
+						}
+					case *ast.ValueSpec:
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								exports = append(exports, export{n.Name, dd.Tok.String(), fset.Position(n.Pos()).Line})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	doc, examples := pkgDoc.String(), exampleText.String()
+	var complaints []string
+	for _, ex := range exports {
+		word := regexp.MustCompile(`\b` + regexp.QuoteMeta(ex.name) + `\b`)
+		if word.MatchString(doc) || word.MatchString(examples) {
+			continue
+		}
+		complaints = append(complaints, fmt.Sprintf(
+			"%s: exported %s %s is mentioned neither in the package documentation nor in any example",
+			filepath.Base(dir), ex.kind, ex.name))
+	}
+	return complaints, nil
 }

@@ -1,8 +1,10 @@
 package doclint
 
 import (
+	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -68,5 +70,66 @@ func TestAnchorSlug(t *testing.T) {
 		if got := anchorSlug(trimmed); got != want {
 			t.Errorf("anchorSlug(%q) = %q, want %q", heading, got, want)
 		}
+	}
+}
+
+// Every exported name of the public package must be discoverable from its
+// narrative documentation: the package comment or an example. godoc's
+// declaration list alone does not teach anyone when to reach for a name.
+func TestAPIMentions(t *testing.T) {
+	complaints, err := CheckAPIMentions(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range complaints {
+		t.Error(c)
+	}
+}
+
+// Unit coverage for the mention scanner on a synthetic package: names
+// mentioned in the package doc, named by an Example, referenced from an
+// example body, and not mentioned at all.
+func TestCheckAPIMentionsUnit(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("p.go", `// Package p frobnicates. Use Alpha to start.
+package p
+
+// Alpha starts.
+func Alpha() {}
+
+// Beta stops.
+func Beta() {}
+
+// Gamma pauses.
+func Gamma() {}
+
+// Delta is never mentioned anywhere.
+func Delta() {}
+
+// Betamax must not count as a mention of Beta.
+func Betamax() {}
+`)
+	write("p_test.go", `package p
+
+// ExampleBeta covers Beta by name.
+func ExampleBeta() {}
+
+// An example whose body references Gamma and whose name covers Betamax.
+func ExampleBetamax() {
+	Gamma()
+}
+`)
+	complaints, err := CheckAPIMentions(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(complaints) != 1 || !strings.Contains(complaints[0], "Delta") {
+		t.Fatalf("complaints = %v, want exactly one about Delta", complaints)
 	}
 }

@@ -1,0 +1,26 @@
+package wal
+
+import "fmt"
+
+// CorruptError reports log or checkpoint data that is present but wrong —
+// a checksum mismatch, a malformed encoding, an epoch discontinuity — as
+// opposed to a torn final record, which recovery truncates silently. It
+// means the directory cannot be trusted to reproduce the committed state;
+// recovery refuses to guess.
+type CorruptError struct {
+	// Path is the offending file.
+	Path string
+	// Offset is the byte offset of the offending frame within the file
+	// (0 when the error is not tied to one frame).
+	Offset int64
+	// Reason describes the violation.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("wal: corrupt log: %s", e.Reason)
+	}
+	return fmt.Sprintf("wal: corrupt log: %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}

@@ -1,0 +1,75 @@
+package wal
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzWALDecode drives DecodeRecord with arbitrary bytes: it must never
+// panic, never allocate beyond what the input length can describe, and
+// classify every input as exactly one of {no record, valid record, torn
+// frame, corrupt frame}. A decoded record must re-encode and decode back to
+// itself (decode ∘ encode = id on the decoded value; byte-identity is not
+// required because varints accept non-minimal encodings).
+func FuzzWALDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendRecord(nil, 2, []Op{{RelID: 1, Mult: 1, Row: []int64{1, 10}}}))
+	f.Add(appendRecord(nil, 7, []Op{
+		{RelID: 1, Mult: -3, Row: []int64{-5}},
+		{RelID: 300, Mult: 1 << 40, Row: []int64{1, -1, 1 << 60}},
+	}))
+	f.Add(appendRecord(nil, 9, nil))
+	f.Add(appendRecord(nil, 3, []Op{{RelID: 2, Mult: 1, Row: []int64{42}}})[:11])
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := DecodeRecord(data)
+		switch {
+		case err == nil && n == 0:
+			if len(data) != 0 {
+				t.Fatalf("no-record result on %d bytes of input", len(data))
+			}
+		case err == nil:
+			if n < recordHeaderSize || n > len(data) {
+				t.Fatalf("consumed %d of %d bytes", n, len(data))
+			}
+			reenc := appendRecord(nil, rec.Epoch, rec.Ops)
+			rec2, n2, err2 := DecodeRecord(reenc)
+			if err2 != nil || n2 != len(reenc) {
+				t.Fatalf("re-encode failed to decode: %v", err2)
+			}
+			if rec2.Epoch != rec.Epoch || !opsEqual(rec2.Ops, rec.Ops) {
+				t.Fatalf("round trip mismatch: %+v != %+v", rec2, rec)
+			}
+		default:
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				// The only other allowed failure is a torn (incomplete) frame.
+				var short *errShortRecord
+				if !errors.As(err, &short) {
+					t.Fatalf("unclassified decode error: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// opsEqual compares op slices treating nil and empty rows as equal (the
+// decoder leaves a zero-length row nil).
+func opsEqual(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].RelID != b[i].RelID || a[i].Mult != b[i].Mult {
+			return false
+		}
+		if len(a[i].Row) != len(b[i].Row) {
+			return false
+		}
+		if len(a[i].Row) > 0 && !reflect.DeepEqual(a[i].Row, b[i].Row) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,396 @@
+// Package wal is the engine's durability layer: a segmented, CRC-framed,
+// append-only commit log plus compact checkpoint files, both living in one
+// log directory. The commit log records every committed batch — the
+// validated op stream, stamped with the epoch the commit published — and a
+// checkpoint serializes the base relations of one committed epoch, so
+// recovery is "load the newest checkpoint, replay the log tail", never a
+// full re-ingest of history.
+//
+// # Directory layout
+//
+// A log directory contains two kinds of files:
+//
+//	wal-<seq>.seg     log segments, numbered by creation sequence
+//	ckpt-<epoch>.ckpt checkpoints, named by the epoch they serialize
+//
+// Segments are strictly append-only and are written by exactly one process
+// at a time (the engine's writer lock serializes Append calls; the package
+// adds its own mutex only to order appends against checkpoint-time rotation
+// and retirement). A segment starts with an 8-byte magic string and the
+// first epoch it may contain; records follow back to back. Epochs are
+// globally consecutive across the whole log: every record's epoch is
+// exactly one above the previous record's, across segment boundaries, which
+// is what lets recovery prove it replayed every committed batch (any gap is
+// corruption, not silence).
+//
+// # Records and torn writes
+//
+// Each record frames its payload with a length and a CRC-32C checksum
+// (record.go). A crash can tear the final record of the final segment —
+// length without payload, payload cut short, a checksum over half-written
+// bytes — and recovery truncates such a tail cleanly: the log shrinks to
+// the longest prefix of intact records, which by construction is a prefix
+// of the committed batches. A bad record that is NOT the physical tail
+// (intact data follows it) cannot be a torn write and is reported as a
+// CorruptError instead of being silently dropped.
+//
+// # Checkpoints
+//
+// WriteCheckpoint serializes the base relations at one epoch to a
+// temporary file and renames it into place, so a crash mid-checkpoint
+// never leaves a half-visible checkpoint. After a successful checkpoint,
+// segments whose records all fall at or below the checkpoint epoch are
+// retired (deleted), and older checkpoints beyond one spare are removed.
+// Recovery prefers the newest loadable checkpoint and falls back to an
+// older one when the newest fails to load; the epoch-continuity check
+// makes a fallback that cannot be completed by replay fail loudly.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SyncMode selects how eagerly the log forces appended records to stable
+// storage. The choice trades commit latency against the failure classes a
+// committed batch survives; see the package ivmeps documentation and
+// docs/DURABILITY.md for the guarantee table.
+type SyncMode int
+
+// The fsync policies, from fastest to most durable.
+const (
+	// SyncOff buffers appends in user space and writes them to the OS only
+	// when the buffer fills. A process kill can lose the buffered suffix of
+	// recent commits; recovery still restores a clean committed prefix.
+	SyncOff SyncMode = iota
+	// SyncBatched writes every record to the OS at append time (a process
+	// kill loses at most the record being written) and calls fsync once
+	// every BatchEvery appends, bounding what an OS crash or power loss can
+	// take to the last sync window.
+	SyncBatched
+	// SyncAlways flushes and fsyncs every append: a committed batch
+	// survives process kills, OS crashes, and power loss, at one fsync of
+	// latency per commit.
+	SyncAlways
+)
+
+// String names the mode ("off", "batched", "always").
+func (m SyncMode) String() string {
+	switch m {
+	case SyncBatched:
+		return "batched"
+	case SyncAlways:
+		return "always"
+	default:
+		return "off"
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the log directory.
+	Dir string
+	// Sync is the fsync policy applied by Append.
+	Sync SyncMode
+	// SegmentBytes rotates the active segment once it reaches this size;
+	// 0 means the 64 MiB default.
+	SegmentBytes int64
+	// BatchEvery is the SyncBatched fsync cadence in appends; 0 means 64.
+	BatchEvery int
+}
+
+// DefaultSegmentBytes is the segment rotation threshold when
+// Options.SegmentBytes is zero.
+const DefaultSegmentBytes = 64 << 20
+
+// defaultBatchEvery is the SyncBatched cadence when Options.BatchEvery is
+// zero.
+const defaultBatchEvery = 64
+
+func (o Options) normalized() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.BatchEvery <= 0 {
+		o.BatchEvery = defaultBatchEvery
+	}
+	return o
+}
+
+// segMeta is the Log's in-memory bookkeeping for one segment file: its
+// sequence number, and the epoch range of the records it holds. An empty
+// segment has last == first-1.
+type segMeta struct {
+	seq   uint64
+	path  string
+	first uint64
+	last  uint64
+}
+
+// Log is an open commit log: an append handle on the active segment plus
+// the metadata needed to rotate and retire segments. Append may be called
+// from one goroutine at a time (the engine's writer lock provides that);
+// WriteCheckpoint and Retire may run concurrently with Append.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	segs     []segMeta // in seq order; the last entry is the active segment (if any)
+	f        *os.File  // active segment file; nil until the first append
+	w        *bufio.Writer
+	size     int64
+	nextSeq  uint64
+	last     uint64 // last epoch appended (0 = none yet)
+	unsynced int    // appends since the last fsync (SyncBatched)
+	buf      []byte // pooled record-encoding buffer
+}
+
+// Create opens a fresh log in opts.Dir, creating the directory if needed.
+// It refuses a directory that already contains log segments or checkpoints
+// — recover those with BeginRecovery (ivmeps.Open) instead, or point at an
+// empty directory.
+func Create(opts Options) (*Log, error) {
+	opts = opts.normalized()
+	if err := os.MkdirAll(opts.Dir, 0o777); err != nil {
+		return nil, err
+	}
+	segs, ckpts, err := ScanDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 || len(ckpts) > 0 {
+		return nil, fmt.Errorf("wal: directory %s already contains a log (%d segments, %d checkpoints); use Open to recover it", opts.Dir, len(segs), len(ckpts))
+	}
+	return &Log{opts: opts, nextSeq: 1}, nil
+}
+
+// Append writes one commit record — the epoch the commit publishes and its
+// validated op stream — to the active segment, rotating first if the
+// segment reached Options.SegmentBytes, and applies the sync policy. Epochs
+// must arrive strictly consecutively; the caller (the engine commit path)
+// guarantees that by construction.
+func (l *Log) Append(epoch uint64, ops []Op) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil || l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(epoch); err != nil {
+			return err
+		}
+	}
+	l.buf = appendRecord(l.buf[:0], epoch, ops)
+	n, err := l.w.Write(l.buf)
+	l.size += int64(n)
+	if err != nil {
+		return err
+	}
+	l.last = epoch
+	l.segs[len(l.segs)-1].last = epoch
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		return l.f.Sync()
+	case SyncBatched:
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		l.unsynced++
+		if l.unsynced >= l.opts.BatchEvery {
+			l.unsynced = 0
+			return l.f.Sync()
+		}
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment (flushing and syncing it) and
+// opens the next one, whose header names first as the first epoch it may
+// contain.
+func (l *Log) rotateLocked(first uint64) error {
+	if err := l.closeActiveLocked(); err != nil {
+		return err
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	path := filepath.Join(l.opts.Dir, segmentName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o666)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, segmentHeaderSize)
+	hdr = append(hdr, segmentMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, first)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.size = int64(len(hdr))
+	l.unsynced = 0
+	l.segs = append(l.segs, segMeta{seq: seq, path: path, first: first, last: first - 1})
+	syncDir(l.opts.Dir)
+	return nil
+}
+
+// closeActiveLocked flushes, fsyncs, and closes the active segment file.
+func (l *Log) closeActiveLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	err := l.f.Close()
+	l.f, l.w, l.size = nil, nil, 0
+	return err
+}
+
+// Close flushes and closes the active segment. A log must be closed (or
+// every commit synced with SyncAlways/SyncBatched) for buffered appends to
+// reach the OS; see SyncOff.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closeActiveLocked()
+}
+
+// LastEpoch returns the epoch of the most recently appended record, or the
+// epoch recovery replayed to when nothing has been appended since.
+func (l *Log) LastEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// Checkpointed is the bookkeeping side of a completed checkpoint at epoch:
+// it rotates the active segment (so the pre-checkpoint tail stops growing),
+// retires every non-active segment whose records all fall at or below
+// epoch, and deletes all but the newest older checkpoint (the spare covers
+// the one-in-a-billion case of the new checkpoint file rotting on disk —
+// recovery falls back and replays the longer tail).
+func (l *Log) Checkpointed(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Rotate only a segment that holds records; an empty active segment can
+	// keep serving appends.
+	if l.f != nil && l.segs[len(l.segs)-1].last >= l.segs[len(l.segs)-1].first {
+		if err := l.rotateLocked(l.last + 1); err != nil {
+			return err
+		}
+	}
+	var kept []segMeta
+	for i, s := range l.segs {
+		active := i == len(l.segs)-1
+		if !active && s.last <= epoch {
+			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segs = kept
+	syncDir(l.opts.Dir)
+	return retireCheckpoints(l.opts.Dir, epoch)
+}
+
+// retireCheckpoints deletes checkpoints older than the newest one below
+// epoch — i.e. it keeps the checkpoint at epoch and one older spare.
+func retireCheckpoints(dir string, epoch uint64) error {
+	_, ckpts, err := ScanDir(dir)
+	if err != nil {
+		return err
+	}
+	var older []CkptInfo
+	for _, c := range ckpts {
+		if c.Epoch < epoch {
+			older = append(older, c)
+		}
+	}
+	for i := 0; i+1 < len(older); i++ { // older is epoch-sorted; keep the last
+		if err := os.Remove(older[i].Path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// SegInfo names one on-disk segment file.
+type SegInfo struct {
+	// Seq is the segment's creation sequence number (from its filename).
+	Seq uint64
+	// Path is the file path.
+	Path string
+}
+
+// CkptInfo names one on-disk checkpoint file.
+type CkptInfo struct {
+	// Epoch is the committed epoch the checkpoint claims to serialize
+	// (from its filename; LoadCheckpoint verifies it).
+	Epoch uint64
+	// Path is the file path.
+	Path string
+}
+
+// ScanDir lists the segments (in sequence order) and checkpoints (in epoch
+// order) of a log directory. Unrelated files are ignored; temporary
+// checkpoint files left by a crash are removed.
+func ScanDir(dir string) ([]SegInfo, []CkptInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var segs []SegInfo
+	var ckpts []CkptInfo
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+			seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 10, 64)
+			if err != nil {
+				continue
+			}
+			segs = append(segs, SegInfo{Seq: seq, Path: filepath.Join(dir, name)})
+		case strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".ckpt"):
+			epoch, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ckpt"), 10, 64)
+			if err != nil {
+				continue
+			}
+			ckpts = append(ckpts, CkptInfo{Epoch: epoch, Path: filepath.Join(dir, name)})
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i].Epoch < ckpts[j].Epoch })
+	return segs, ckpts, nil
+}
+
+// segmentName renders the filename of segment seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.seg", seq) }
+
+// checkpointName renders the filename of the checkpoint at epoch.
+func checkpointName(epoch uint64) string { return fmt.Sprintf("ckpt-%020d.ckpt", epoch) }
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+// Best-effort: some filesystems reject directory fsync, and the log's
+// correctness does not depend on it (a lost rename reappears as the
+// pre-rename state, which recovery handles).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

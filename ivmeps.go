@@ -28,6 +28,12 @@
 //		fmt.Println(row, mult)
 //	}
 //
+// ParseQuery turns the query text into a Query, whose Classify method
+// reports the Class the paper's taxonomy assigns it — hierarchical or not,
+// free-connex or not, the widths w and δ — and with them the guarantees
+// above. Engine.Stats exposes maintenance activity counters (updates,
+// batches, rebalances) for operational monitoring.
+//
 // # Mutation
 //
 // After Build, the engine maintains the query under single-tuple updates
@@ -111,9 +117,36 @@
 // the Engine API — Load/Build, Insert/Delete/Apply, NewBatch/Commit,
 // Snapshot — with the same atomicity contract extended across shards: a
 // commit is validated on every shard and applied on all of them or none of
-// them, and a snapshot observes every shard at one federation epoch. A
+// them, and a ShardedSnapshot observes every shard at one federation epoch. A
 // shard-detected validation failure arrives wrapped in a ShardError; see
 // Sharded and ShardKey for the routing and gather details.
+//
+// # Durability
+//
+// Engines are in-memory by default; setting Options.Durability.Dir gives an
+// engine a write-ahead log: every committed batch — through Insert, Delete,
+// Apply, ApplyBatch, or Commit — is appended to a segmented, checksummed
+// commit log in that directory before it is applied, and Build writes an
+// initial checkpoint, so the committed state always equals "newest
+// checkpoint + logged tail". After a crash, Open rebuilds the engine from
+// that directory and resumes logging into it; the recovered result rows, N,
+// and snapshot epoch are exactly those of the last durable commit
+// (Example_checkpointRecover shows the full cycle). Call Checkpoint to
+// bound recovery time: it serializes the base relations without blocking
+// commits and retires the log prefix it covers.
+//
+// The SyncMode in Durability.Sync picks the fsync policy — SyncOff
+// (buffered, fastest), SyncBatched (every commit reaches the OS, fsync in
+// groups), SyncAlways (commit = on stable storage) — trading commit latency
+// against how much a crash can lose; whatever survives is always a clean
+// committed prefix, never a torn or merged state. A torn final record (the
+// one shape a mid-write kill leaves) is truncated silently by Open; any
+// other damage — checksum mismatches, missing epochs — is refused with a
+// CorruptLogError rather than guessed around. Durable engines should be
+// Closed when discarded so buffered appends reach the OS; Sharded engines
+// do not support Durability. The cmd/ivmwal tool inspects and verifies log
+// directories offline, and docs/DURABILITY.md specifies the file formats,
+// the recovery rules, and the full crash-guarantee table.
 package ivmeps
 
 import (
@@ -126,6 +159,7 @@ import (
 	"ivmeps/internal/relation"
 	"ivmeps/internal/tuple"
 	"ivmeps/internal/viewtree"
+	"ivmeps/internal/wal"
 )
 
 // Query is a parsed conjunctive query.
@@ -213,6 +247,13 @@ type Options struct {
 	// identical at every setting; see the package documentation for the
 	// worker model.
 	Workers int
+	// Durability, when its Dir is set, gives the engine a write-ahead log
+	// and checkpoint files in that directory: every committed batch is
+	// logged before it is applied, Checkpoint compacts the log, and Open
+	// recovers the committed state after a crash. The zero value disables
+	// durability entirely. See the package documentation's Durability
+	// section.
+	Durability Durability
 }
 
 // Engine maintains a hierarchical query under single-tuple updates and
@@ -222,6 +263,12 @@ type Engine struct {
 	e       *core.Engine
 	initial naive.Database
 	built   bool
+
+	// Durability state (durability.go): nil/zero unless Options.Durability
+	// was configured. walOps is the pooled op buffer of the commit hook.
+	dur    Durability
+	wal    *wal.Log
+	walOps []wal.Op
 }
 
 // New creates an engine. The query must be hierarchical (use Classify to
@@ -241,6 +288,17 @@ func New(q *Query, opts Options) (*Engine, error) {
 		if _, ok := eng.initial[a.Rel]; !ok {
 			eng.initial[a.Rel] = relation.New(a.Rel, a.Vars)
 		}
+	}
+	if opts.Durability.enabled() {
+		// Fail on an already-populated log directory now, not at Build:
+		// recovering an existing log is Open's job, and silently appending
+		// to one here could corrupt it.
+		l, err := wal.Create(opts.Durability.walOptions())
+		if err != nil {
+			return nil, err
+		}
+		eng.dur = opts.Durability
+		eng.wal = l
 	}
 	return eng, nil
 }
@@ -283,6 +341,15 @@ func (e *Engine) Build() error {
 	}
 	e.built = true
 	e.initial = nil
+	if e.wal != nil {
+		// Durable engines seed the log directory with a checkpoint of the
+		// built state (epoch 1), so Open always finds a base to replay from;
+		// only then do commits start logging.
+		if err := e.Checkpoint(); err != nil {
+			return fmt.Errorf("ivmeps: Build: writing the initial checkpoint: %w", err)
+		}
+		e.e.SetCommitHook(e.walHook)
+	}
 	return nil
 }
 
@@ -333,11 +400,22 @@ func (e *Engine) ApplyBatch(rel string, rows [][]int64, mults []int64) error {
 }
 
 // Close releases the engine's batch worker goroutines, if any were started
-// (Options.Workers != 1 and a parallel ApplyBatch ran). It is optional —
-// a garbage-collected engine releases them automatically — but calling it
-// promptly bounds goroutine count when engines are created in a loop. The
-// engine remains usable after Close.
-func (e *Engine) Close() { e.e.Close() }
+// (Options.Workers != 1 and a parallel ApplyBatch ran), and — on a durable
+// engine — flushes and closes the write-ahead log, pushing any commits
+// buffered under SyncOff to the OS. It returns the log's flush error, if
+// any; an engine without durability always returns nil. The engine's
+// in-memory state remains usable after Close, but a durable engine logs no
+// further commits — Close is for shutdown.
+func (e *Engine) Close() error {
+	e.e.Close()
+	if e.wal == nil {
+		return nil
+	}
+	e.e.SetCommitHook(nil)
+	err := e.wal.Close()
+	e.wal = nil
+	return wrapErr(err)
+}
 
 // Enumerate yields every distinct result tuple (over the query's free
 // variables, in head order) with its multiplicity, with O(N^(1−ε)) delay.

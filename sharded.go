@@ -46,6 +46,13 @@ type Sharded struct {
 // NewSharded creates a sharded engine. The query constraints are those of
 // New: it must be hierarchical.
 func NewSharded(q *Query, opts ShardedOptions) (*Sharded, error) {
+	if opts.Durability.enabled() {
+		// Durable sharded engines need a per-shard log plus a federation
+		// commit record to make the two-phase commit atomic across K logs;
+		// the single-engine WAL would silently miss the federation's
+		// PrepareCommit path. Refuse rather than pretend.
+		return nil, fmt.Errorf("ivmeps: Durability is not supported on Sharded engines")
+	}
 	mode := viewtree.Dynamic
 	if opts.Static {
 		mode = viewtree.Static
