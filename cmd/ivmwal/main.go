@@ -9,11 +9,22 @@
 //	ivmwal inspect <dir>   list checkpoints and segments with epoch ranges
 //	ivmwal verify  <dir>   dry-run recovery: decode everything, report the
 //	                       recoverable epoch and any torn tail, change
-//	                       nothing; exits nonzero on corruption
+//	                       nothing
 //	ivmwal replay  <dir>   full recovery: rebuild the engine from the
 //	                       checkpoint and replay the tail exactly as Open
 //	                       does — including truncating a torn final record —
 //	                       then print the recovered result size and epoch
+//
+// verify exits with a distinct code per outcome, so scripts and health
+// checks can branch without parsing output:
+//
+//	0  clean: every record verifies and the log ends on a record boundary
+//	1  torn tail only: fully recoverable, but Open will truncate a torn
+//	   final record left by a crash
+//	2  corrupt or unreadable: recovery would refuse the directory
+//
+// Usage errors exit with 64 (EX_USAGE), never colliding with the verify
+// outcomes.
 //
 // See docs/DURABILITY.md for the file formats and the recovery rules these
 // commands apply.
@@ -31,7 +42,7 @@ import (
 func main() {
 	if len(os.Args) != 3 {
 		fmt.Fprintf(os.Stderr, "usage: ivmwal inspect|verify|replay <dir>\n")
-		os.Exit(2)
+		os.Exit(64)
 	}
 	cmd, dir := os.Args[1], os.Args[2]
 	var err error
@@ -39,12 +50,12 @@ func main() {
 	case "inspect":
 		err = inspect(dir)
 	case "verify":
-		err = verify(dir)
+		os.Exit(verify(dir))
 	case "replay":
 		err = replay(dir)
 	default:
 		fmt.Fprintf(os.Stderr, "ivmwal: unknown command %q (want inspect, verify, or replay)\n", cmd)
-		os.Exit(2)
+		os.Exit(64)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ivmwal: %v\n", err)
@@ -93,29 +104,42 @@ func inspect(dir string) error {
 	return nil
 }
 
-// verify runs the recovery scan without fixing anything and reports what a
-// real Open would do.
-func verify(dir string) error {
+// verify runs the recovery scan without fixing anything, reports what a
+// real Open would do, and returns the process exit code: 0 clean, 1 torn
+// tail only (recoverable; Open will truncate), 2 corrupt or unreadable.
+func verify(dir string) int {
 	rec, err := wal.BeginRecovery(dir)
 	if err != nil {
-		return err
+		fmt.Fprintf(os.Stderr, "ivmwal: %v\n", err)
+		return 2
 	}
 	fmt.Printf("checkpoint: epoch %d, query %q\n", rec.Checkpoint.Epoch, rec.Checkpoint.Query)
 	records := 0
 	err = rec.Replay(false, func(wal.Record) error { records++; return nil })
 	if err != nil {
-		return fmt.Errorf("log is corrupt (recovery would refuse it): %w", err)
+		fmt.Fprintf(os.Stderr, "ivmwal: log is corrupt (recovery would refuse it): %v\n", err)
+		return 2
 	}
 	fmt.Printf("replayable tail: %d records, recoverable epoch %d\n", records, rec.LastEpoch)
 	// Replay tolerates a torn final record without reporting it; surface it
 	// here so the operator knows a real Open will truncate.
 	if segs, _, err := wal.ScanDir(dir); err == nil && len(segs) > 0 {
-		if sd, err := wal.ReadSegment(segs[len(segs)-1].Path); err == nil && sd.Tail != nil {
+		last := segs[len(segs)-1]
+		sd, err := wal.ReadSegment(last.Path)
+		switch {
+		case err != nil:
+			// Replay accepted the log, so an unreadable final segment can only
+			// be the header-less file a crash during rotation leaves behind;
+			// nothing in it was acknowledged and Open removes it.
+			fmt.Printf("torn rotation: %v (Open will remove %s)\n", err, last.Path)
+			return 1
+		case sd.Tail != nil:
 			fmt.Printf("torn tail: %v (Open will truncate %s to %d bytes)\n",
-				sd.Tail, segs[len(segs)-1].Path, sd.Good)
+				sd.Tail, last.Path, sd.Good)
+			return 1
 		}
 	}
-	return nil
+	return 0
 }
 
 // replay performs a real recovery through the public Open path — the query

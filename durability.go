@@ -43,14 +43,29 @@ type Durability struct {
 	// 64 MiB default. Checkpoints retire whole segments, so smaller
 	// segments reclaim space sooner at the cost of more files.
 	SegmentBytes int64
+
+	// fs is the file-operation implementation behind the log; nil means
+	// direct os calls. It is settable only from this package's tests
+	// (fault injection via internal/wal/faultfs) — real deployments always
+	// run on the real filesystem.
+	fs wal.VFS
 }
 
 // enabled reports whether the options ask for a write-ahead log.
 func (d Durability) enabled() bool { return d.Dir != "" }
 
+// vfs returns the configured file-operation implementation, defaulting to
+// direct os calls.
+func (d Durability) vfs() wal.VFS {
+	if d.fs != nil {
+		return d.fs
+	}
+	return wal.OSFS
+}
+
 // walOptions translates the public knobs for internal/wal.
 func (d Durability) walOptions() wal.Options {
-	return wal.Options{Dir: d.Dir, Sync: wal.SyncMode(d.Sync), SegmentBytes: d.SegmentBytes}
+	return wal.Options{Dir: d.Dir, Sync: wal.SyncMode(d.Sync), SegmentBytes: d.SegmentBytes, FS: d.fs}
 }
 
 // attachWAL installs the commit hook that appends every validated commit to
@@ -84,13 +99,18 @@ func (e *Engine) walHook(epoch uint64, ops []core.BatchOp) error {
 // checkpoint writes; the checkpoint file becomes visible atomically.
 // Recovery cost after a checkpoint is proportional to the log tail, not to
 // history. Checkpoint returns an error on an engine without durability
-// configured.
+// configured, and refuses with the LogWedgedError on an engine whose log
+// has wedged — a checkpoint claims its epoch is durably reconstructible,
+// which a wedged log can no longer promise.
 func (e *Engine) Checkpoint() error {
 	if !e.built {
 		return fmt.Errorf("ivmeps: Checkpoint: %w (call Build first)", ErrNotBuilt)
 	}
 	if e.wal == nil {
 		return fmt.Errorf("ivmeps: Checkpoint on an engine without durability (set Options.Durability.Dir)")
+	}
+	if err := e.e.Degraded(); err != nil {
+		return wrapErr(err)
 	}
 	epoch, rels, err := e.e.BaseState()
 	if err != nil {
@@ -107,7 +127,7 @@ func (e *Engine) Checkpoint() error {
 			},
 		}
 	}
-	err = wal.WriteCheckpoint(e.dur.Dir, epoch, e.q.String(), crels)
+	err = wal.WriteCheckpointFS(e.dur.vfs(), e.dur.Dir, epoch, e.q.String(), crels, e.dur.Sync == SyncAlways)
 	for i := range rels {
 		rels[i].Rel.Release()
 	}
@@ -134,7 +154,7 @@ func Open(q *Query, opts Options) (*Engine, error) {
 	if !opts.Durability.enabled() {
 		return nil, fmt.Errorf("ivmeps: Open requires Options.Durability.Dir")
 	}
-	rec, err := wal.BeginRecovery(opts.Durability.Dir)
+	rec, err := wal.BeginRecoveryFS(opts.Durability.vfs(), opts.Durability.Dir)
 	if err != nil {
 		if errors.Is(err, wal.ErrNoCheckpoint) {
 			return nil, fmt.Errorf("ivmeps: Open %s: %w (create the log with New first)", opts.Durability.Dir, err)
@@ -156,14 +176,19 @@ func Open(q *Query, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every failure below must Close the half-built engine: Build may have
+	// started worker-pool goroutines, and returning without releasing them
+	// leaks a goroutine set per failed Open.
 	for _, r := range rec.Checkpoint.Rels {
 		for i := range r.Rows {
 			if err := e.LoadWeighted(r.Name, r.Rows[i], r.Mults[i]); err != nil {
+				e.Close()
 				return nil, &CorruptLogError{Path: opts.Durability.Dir, Reason: fmt.Sprintf("checkpoint rejected by engine: %v", err)}
 			}
 		}
 	}
 	if err := e.Build(); err != nil {
+		e.Close()
 		return nil, err
 	}
 	e.e.RestoreEpoch(rec.Checkpoint.Epoch)
@@ -187,11 +212,13 @@ func Open(q *Query, opts Options) (*Engine, error) {
 		return nil
 	}
 	if err := rec.Replay(true, replay); err != nil {
+		e.Close()
 		return nil, wrapErr(err)
 	}
 
 	l, err := rec.Continue(opts.Durability.walOptions())
 	if err != nil {
+		e.Close()
 		return nil, wrapErr(err)
 	}
 	e.dur = opts.Durability

@@ -121,11 +121,42 @@ func (e *CorruptLogError) Error() string {
 	return fmt.Sprintf("ivmeps: corrupt log: %s at offset %d: %s", e.Path, e.Offset, e.Reason)
 }
 
+// LogWedgedError reports an engine whose write-ahead log has wedged: an
+// append, flush, fsync, or segment rotation failed, so the on-disk tail of
+// the log is unknowable (a failed fsync in particular may or may not have
+// persisted anything, and retrying cannot find out — so it is never
+// retried). The engine degrades to read-only: every further mutation —
+// Insert, Delete, Apply, ApplyBatch, Commit — returns this same error with
+// the in-memory state exactly as it was before the failed commit, while
+// Snapshot, All, Rows, Count, and Enumerate keep serving the last committed
+// state. The failed commit itself was not applied; whether its record
+// reached stable storage is uncertain, and recovery resolves that honestly:
+// reopen the directory with Open, which replays exactly the records that
+// made it to disk. Match it with errors.As:
+//
+//	var lwe *ivmeps.LogWedgedError
+//	if errors.As(err, &lwe) { ... reopen via ivmeps.Open ...
+type LogWedgedError struct {
+	// Op names the I/O operation that failed first: "append", "flush",
+	// "sync", or "rotate".
+	Op string
+	// Err is the original I/O error from that operation.
+	Err error
+}
+
+// Error formats the wedge report.
+func (e *LogWedgedError) Error() string {
+	return fmt.Sprintf("ivmeps: write-ahead log wedged by %s failure: %v (engine is read-only; recover by reopening with Open)", e.Op, e.Err)
+}
+
+// Unwrap exposes the original I/O error to errors.Is / errors.As.
+func (e *LogWedgedError) Unwrap() error { return e.Err }
+
 // wrapErr maps the engine's internal structured errors onto the public
-// ArityError / MultiplicityError / ShardError / CorruptLogError types.
-// Sentinels pass through untouched — they are shared by value with the
-// internal layers, so errors.Is matches without translation — as does
-// anything else.
+// ArityError / MultiplicityError / ShardError / CorruptLogError /
+// LogWedgedError types. Sentinels pass through untouched — they are shared
+// by value with the internal layers, so errors.Is matches without
+// translation — as does anything else.
 func wrapErr(err error) error {
 	if err == nil {
 		return nil
@@ -133,6 +164,10 @@ func wrapErr(err error) error {
 	var se *federation.ShardError
 	if errors.As(err, &se) {
 		return &ShardError{Shard: se.Shard, Err: wrapErr(se.Err)}
+	}
+	var we *wal.WedgedError
+	if errors.As(err, &we) {
+		return &LogWedgedError{Op: we.Op, Err: we.Err}
 	}
 	var ce *wal.CorruptError
 	if errors.As(err, &ce) {

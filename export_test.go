@@ -1,0 +1,9 @@
+package ivmeps
+
+import "ivmeps/internal/wal"
+
+// SetDurabilityFS injects a file-operation implementation into a
+// Durability configuration, for fault-injection tests
+// (internal/wal/faultfs). Test-only: the field is unexported so real
+// deployments always run on the real filesystem.
+func SetDurabilityFS(d *Durability, fs wal.VFS) { d.fs = fs }

@@ -114,7 +114,7 @@ func (e *Engine) CommitBatch(ops []BatchOp) error {
 	// engine untouched. Apply cannot fail after validation, so a logged
 	// batch is a committed batch.
 	if e.commitHook != nil {
-		if err := e.commitHook(e.epoch+1, ops); err != nil {
+		if err := e.runCommitHookLocked(e.epoch+1, ops); err != nil {
 			e.releaseStagedLocked()
 			return err
 		}
@@ -201,7 +201,7 @@ func (e *Engine) ApplyBatch(rel string, rows []tuple.Tuple, mults []int64) error
 			e.releaseStagedLocked()
 		} else if e.commitHook != nil {
 			// Same durability point as CommitBatch: log, then apply.
-			if err = e.commitHook(e.epoch+1, ops); err != nil {
+			if err = e.runCommitHookLocked(e.epoch+1, ops); err != nil {
 				e.releaseStagedLocked()
 			} else {
 				e.applyStagedLocked()
@@ -235,6 +235,9 @@ func (e *Engine) prepareLocked(ops []BatchOp) error {
 	}
 	if e.opts.Mode != viewtree.Dynamic {
 		return fmt.Errorf("core: %w; rebuild with Mode: Dynamic for updates", ErrStatic)
+	}
+	if e.degraded != nil {
+		return e.degraded
 	}
 	applied := 0
 	lastID := 0

@@ -40,10 +40,39 @@ import (
 type CommitHook func(epoch uint64, ops []BatchOp) error
 
 // SetCommitHook installs (or, with nil, removes) the engine's commit hook.
+// It does not clear the degraded latch: removing the hook (Engine.Close
+// does) must not let mutations resume unlogged on an engine whose log
+// wedged — the latch lasts for the engine's lifetime, and recovery builds a
+// fresh engine.
 func (e *Engine) SetCommitHook(h CommitHook) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.commitHook = h
+}
+
+// runCommitHookLocked invokes the commit hook for the commit that would
+// publish epoch and latches the degraded state on failure. The hook is the
+// durability layer's append, and every failure there wedges the log (wal:
+// nothing may be written after an uncertain flush), so the engine mirrors
+// the wedge: the first hook error is remembered and every later mutation —
+// CommitBatch, ApplyBatch, Update, PrepareCommit — is refused with it
+// before validation even runs, while snapshots and enumeration keep
+// serving the last committed state. The latch clears only via
+// SetCommitHook, i.e. by reopening through recovery.
+func (e *Engine) runCommitHookLocked(epoch uint64, ops []BatchOp) error {
+	err := e.commitHook(epoch, ops)
+	if err != nil && e.degraded == nil {
+		e.degraded = err
+	}
+	return err
+}
+
+// Degraded returns the hook error that latched the engine read-only, or
+// nil while the engine still accepts mutations.
+func (e *Engine) Degraded() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.degraded
 }
 
 // FrozenBase is one base relation captured by BaseState: the original

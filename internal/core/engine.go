@@ -161,9 +161,13 @@ type Engine struct {
 
 	// commitHook, when set, observes every validated commit before it is
 	// applied (durable.go); hookOp is the pooled one-op slice the
-	// single-tuple Update path hands it.
+	// single-tuple Update path hands it. degraded latches the first hook
+	// error: the durability layer has wedged, so every further mutation is
+	// refused with that error while reads keep serving the last committed
+	// state (durable.go).
 	commitHook CommitHook
 	hookOp     [1]BatchOp
+	degraded   error
 
 	// curGen caches the frozen relation generation of the current epoch so
 	// repeated Snapshot calls between commits are O(1): the first capture

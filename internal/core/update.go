@@ -101,6 +101,9 @@ func (e *Engine) Update(rel string, t tuple.Tuple, m int64) error {
 	if e.opts.Mode != viewtree.Dynamic {
 		return fmt.Errorf("core: %w; rebuild with Mode: Dynamic for updates", ErrStatic)
 	}
+	if e.degraded != nil {
+		return e.degraded
+	}
 	occ, ok := e.occ[rel]
 	if !ok {
 		return fmt.Errorf("core: %w: %q (query %s)", ErrUnknownRelation, rel, e.orig)
@@ -121,7 +124,7 @@ func (e *Engine) Update(rel string, t tuple.Tuple, m int64) error {
 	// through the pooled one-op slice.
 	if e.commitHook != nil {
 		e.hookOp[0] = BatchOp{Rel: rel, RelID: e.relIdx[rel], Row: t, Mult: m}
-		err := e.commitHook(e.epoch+1, e.hookOp[:])
+		err := e.runCommitHookLocked(e.epoch+1, e.hookOp[:])
 		e.hookOp[0] = BatchOp{} // drop the reference into the caller's row
 		if err != nil {
 			return err

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 )
 
@@ -69,6 +68,19 @@ type Checkpoint struct {
 // (temp file + fsync + rename). It does not touch the commit log; call
 // Log.Checkpointed afterwards to retire segments the checkpoint covers.
 func WriteCheckpoint(dir string, epoch uint64, query string, rels []CheckpointRel) error {
+	return WriteCheckpointFS(OSFS, dir, epoch, query, rels, false)
+}
+
+// WriteCheckpointFS is WriteCheckpoint through an explicit VFS. A failure
+// on any step never leaves a visible (renamed) checkpoint: the temp file is
+// removed best-effort, and that removal can never mask the original error —
+// the write/sync/close/rename error is always the one returned. When
+// strictDirSync is set (the engine passes it under SyncAlways), a failed
+// directory fsync after the rename is an error, because the checkpoint's
+// durability against power loss is part of the guarantee there; otherwise
+// it is best-effort (an undurable rename reappears as the pre-checkpoint
+// state, which recovery handles by replaying a longer tail).
+func WriteCheckpointFS(fs VFS, dir string, epoch uint64, query string, rels []CheckpointRel, strictDirSync bool) error {
 	payload := binary.AppendUvarint(nil, epoch)
 	payload = binary.AppendUvarint(payload, uint64(len(query)))
 	payload = append(payload, query...)
@@ -97,35 +109,42 @@ func WriteCheckpoint(dir string, epoch uint64, query string, rels []CheckpointRe
 	buf = append(buf, payload...)
 
 	tmp := filepath.Join(dir, checkpointName(epoch)+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	f, err := fs.CreateTrunc(tmp)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, checkpointName(epoch))); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, filepath.Join(dir, checkpointName(epoch))); err != nil {
+		fs.Remove(tmp)
 		return err
 	}
-	syncDir(dir)
+	if err := fs.SyncDir(dir); err != nil && strictDirSync {
+		return fmt.Errorf("wal: directory fsync after checkpoint rename: %w", err)
+	}
 	return nil
 }
 
 // LoadCheckpoint reads and verifies one checkpoint file.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
-	data, err := os.ReadFile(path)
+	return LoadCheckpointFS(OSFS, path)
+}
+
+// LoadCheckpointFS is LoadCheckpoint through an explicit VFS.
+func LoadCheckpointFS(fs VFS, path string) (*Checkpoint, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -24,3 +24,27 @@ func (e *CorruptError) Error() string {
 	}
 	return fmt.Sprintf("wal: corrupt log: %s at offset %d: %s", e.Path, e.Offset, e.Reason)
 }
+
+// WedgedError reports a log that has latched its sticky wedged state: an
+// append, flush, fsync, or rotation failed, so the on-disk suffix of the
+// log is unknowable (a failed fsync in particular may or may not have
+// persisted anything — the PostgreSQL fsyncgate lesson is that retrying
+// cannot find out) and the Log refuses every further Append and
+// Checkpointed with this error rather than write after the damage. The
+// committed prefix on disk is intact; recovery is by restart: reopen the
+// directory (ivmeps.Open), which replays exactly the committed records.
+type WedgedError struct {
+	// Op names the I/O site that failed first: "append", "flush", "sync",
+	// "rotate", or "dir-sync".
+	Op string
+	// Err is the original I/O error from that site.
+	Err error
+}
+
+// Error formats the wedge report.
+func (e *WedgedError) Error() string {
+	return fmt.Sprintf("wal: log wedged by %s failure: %v (read-only until reopened; recover with Open)", e.Op, e.Err)
+}
+
+// Unwrap exposes the original I/O error to errors.Is / errors.As.
+func (e *WedgedError) Unwrap() error { return e.Err }

@@ -1,0 +1,223 @@
+package wal_test
+
+// Wedge-semantics unit tests, at the log layer: the first I/O failure
+// latches the sticky wedge, and from then on the log touches NO file
+// operation again — asserted by operation counting, which is the
+// fsyncgate property (a failed fsync is never retried) in its most
+// literal form. These live in an external test package so they can use
+// the fault-injecting VFS (internal/wal/faultfs imports wal, so the
+// in-package tests cannot).
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ivmeps/internal/wal"
+	"ivmeps/internal/wal/faultfs"
+)
+
+// newTestLog creates a SyncAlways log on ffs in a temp dir.
+func newTestLog(t *testing.T, ffs *faultfs.FS) *wal.Log {
+	t.Helper()
+	l, err := wal.Create(wal.Options{
+		Dir: filepath.Join(t.TempDir(), "log"), Sync: wal.SyncAlways,
+		SegmentBytes: 1 << 20, FS: ffs,
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return l
+}
+
+// sameCounts reports whether two operation-count maps are equal.
+func sameCounts(a, b map[faultfs.Kind]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLogWedgeStopsAllIO wedges the log with a failed fsync and then
+// proves, by counting, that no subsequent operation reaches the files:
+// Append and Checkpointed refuse with the original wedge evidence, and
+// Close only releases the descriptor.
+func TestLogWedgeStopsAllIO(t *testing.T) {
+	ffs := faultfs.New(nil)
+	l := newTestLog(t, ffs)
+	op := []wal.Op{{RelID: 1, Row: []int64{1, 2}, Mult: 1}}
+	if err := l.Append(1, op); err != nil {
+		t.Fatalf("clean append: %v", err)
+	}
+
+	ffs.Inject(faultfs.FileSync, 1)
+	err := l.Append(2, op)
+	var we *wal.WedgedError
+	if !errors.As(err, &we) {
+		t.Fatalf("append with failing fsync = %v, want WedgedError", err)
+	}
+	if we.Op != "sync" {
+		t.Fatalf("wedge op = %q, want \"sync\"", we.Op)
+	}
+	if werr := l.Wedged(); !errors.Is(werr, err) && werr.Error() != err.Error() {
+		t.Fatalf("Wedged() = %v, want the latched %v", werr, err)
+	}
+
+	// From here on, nothing may touch the filesystem. faultfs counts every
+	// operation, so equality of counts IS the never-retry property.
+	before := ffs.Counts()
+	if err2 := l.Append(3, op); !errors.As(err2, &we) {
+		t.Fatalf("append after wedge = %v, want WedgedError", err2)
+	}
+	if err2 := l.Append(3, op); !errors.As(err2, &we) {
+		t.Fatalf("second append after wedge = %v, want WedgedError", err2)
+	}
+	if err2 := l.Checkpointed(1); !errors.As(err2, &we) {
+		t.Fatalf("Checkpointed after wedge = %v, want WedgedError", err2)
+	}
+	if !sameCounts(before, ffs.Counts()) {
+		t.Fatalf("wedged log touched the filesystem: ops %v -> %v", before, ffs.Counts())
+	}
+
+	// Close on a wedged log writes nothing — no flush, no fsync — and
+	// returns nil: it may only release the descriptor.
+	if err2 := l.Close(); err2 != nil {
+		t.Fatalf("Close on wedged log = %v, want nil", err2)
+	}
+	after := ffs.Counts()
+	if after[faultfs.Write] != before[faultfs.Write] || after[faultfs.FileSync] != before[faultfs.FileSync] {
+		t.Fatalf("Close on wedged log wrote or synced: ops %v -> %v", before, after)
+	}
+	if err2 := l.Close(); err2 != nil {
+		t.Fatalf("second Close = %v, want nil", err2)
+	}
+}
+
+// TestLogWedgeKeepsFirstEvidence checks that the wedge latches the FIRST
+// failure and later failures cannot overwrite it.
+func TestLogWedgeKeepsFirstEvidence(t *testing.T) {
+	ffs := faultfs.New(nil)
+	l := newTestLog(t, ffs)
+	op := []wal.Op{{RelID: 1, Row: []int64{1}, Mult: 1}}
+
+	// The header write succeeds; the record stays in the bufio buffer and
+	// the second file write is its SyncAlways flush, so the failure
+	// surfaces as a flush wedge.
+	ffs.Inject(faultfs.Write, 2)
+	err := l.Append(1, op)
+	var we *wal.WedgedError
+	if !errors.As(err, &we) {
+		t.Fatalf("append = %v, want WedgedError", err)
+	}
+	firstOp := we.Op
+	if firstOp != "flush" {
+		t.Fatalf("wedge op = %q, want \"flush\"", firstOp)
+	}
+	if err2 := l.Append(2, op); !errors.As(err2, &we) || we.Op != firstOp {
+		t.Fatalf("later append rewrote the wedge evidence: %v", err2)
+	}
+	l.Close()
+}
+
+// maskFS fails every file write with errWrite and every Remove with
+// errRemove, to prove the checkpoint writer's best-effort temp cleanup
+// cannot mask the original failure.
+type maskFS struct {
+	wal.VFS
+}
+
+var (
+	errWrite  = errors.New("maskfs: write failed")
+	errRemove = errors.New("maskfs: remove failed")
+)
+
+// CreateTrunc returns a file whose writes fail.
+func (m maskFS) CreateTrunc(path string) (wal.File, error) {
+	f, err := m.VFS.CreateTrunc(path)
+	if err != nil {
+		return nil, err
+	}
+	return maskFile{f}, nil
+}
+
+// Remove always fails.
+func (maskFS) Remove(path string) error { return errRemove }
+
+// maskFile fails every Write.
+type maskFile struct {
+	wal.File
+}
+
+// Write always fails.
+func (maskFile) Write(p []byte) (int, error) { return 0, errWrite }
+
+// TestCheckpointTempRemoveCannotMaskError drives WriteCheckpointFS into a
+// write failure on a VFS whose Remove also fails: the returned error must
+// be the write failure, never the cleanup failure, and no checkpoint may
+// become visible.
+func TestCheckpointTempRemoveCannotMaskError(t *testing.T) {
+	dir := t.TempDir()
+	rels := []wal.CheckpointRel{{
+		Name: "R", Arity: 1,
+		Rows: func(yield func([]int64, int64)) { yield([]int64{1}, 1) },
+	}}
+	err := wal.WriteCheckpointFS(maskFS{wal.OSFS}, dir, 7, "Q", rels, true)
+	if !errors.Is(err, errWrite) {
+		t.Fatalf("WriteCheckpointFS = %v, want the original write error %v", err, errWrite)
+	}
+	if errors.Is(err, errRemove) {
+		t.Fatalf("cleanup error masked the write error: %v", err)
+	}
+	_, ckpts, scanErr := wal.ScanDir(dir)
+	if scanErr != nil {
+		t.Fatalf("ScanDir: %v", scanErr)
+	}
+	if len(ckpts) != 0 {
+		t.Fatalf("failed checkpoint became visible: %v", ckpts)
+	}
+}
+
+// TestScanDirRemovesStaleTemp checks that ScanDir deletes crash-leftover
+// .tmp files, ignores unrelated names, and stays silent when the cleanup
+// itself fails (a stale temporary is inert).
+func TestScanDirRemovesStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	staleCkpt := filepath.Join(dir, "ckpt-00000000000000000007.ckpt.tmp")
+	staleOther := filepath.Join(dir, "stray.tmp")
+	unrelated := filepath.Join(dir, "README")
+	for _, p := range []string{staleCkpt, staleOther, unrelated} {
+		if err := os.WriteFile(p, []byte("junk"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, ckpts, err := wal.ScanDir(dir)
+	if err != nil {
+		t.Fatalf("ScanDir: %v", err)
+	}
+	if len(segs) != 0 || len(ckpts) != 0 {
+		t.Fatalf("ScanDir reported stale temporaries as log files: %v %v", segs, ckpts)
+	}
+	for _, p := range []string{staleCkpt, staleOther} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("stale temporary %s survived ScanDir", p)
+		}
+	}
+	if _, err := os.Stat(unrelated); err != nil {
+		t.Fatalf("ScanDir touched an unrelated file: %v", err)
+	}
+
+	// A cleanup failure is swallowed, not surfaced: scanning through a VFS
+	// whose Remove fails still succeeds.
+	if err := os.WriteFile(staleOther, []byte("junk"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wal.ScanDirFS(maskFS{wal.OSFS}, dir); err != nil {
+		t.Fatalf("ScanDirFS with failing Remove = %v, want nil", err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package faultfs is a deterministic fault-injecting wal.VFS for testing
+// the durability layer's reaction to disk failures. An FS wraps an inner
+// VFS (the real filesystem by default) and counts every operation by kind;
+// arming a fault makes the Nth operation of one kind fail with a chosen
+// error instead of reaching the inner VFS. Because the engine's I/O
+// schedule is deterministic for a fixed workload, (kind, ordinal) addresses
+// one exact I/O site: a test first runs the workload fault-free to learn
+// the per-kind operation counts (Counts), then replays it once per (kind,
+// ordinal) pair, which systematically visits every I/O site the workload
+// exercises.
+//
+// Two failure shapes are supported: a clean failure (the operation returns
+// an error having done nothing, like EIO) and a short write (the operation
+// writes a prefix of the data and returns ENOSPC, the shape a full disk
+// produces), which is only meaningful for Write.
+package faultfs
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+
+	"ivmeps/internal/wal"
+)
+
+// ErrInjected is the error injected faults fail with (unless the fault
+// carries its own error).
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Kind identifies one class of file operation an FS counts and can fail.
+type Kind string
+
+// The operation kinds. The directory-level kinds mirror the wal.VFS
+// methods; Write, FileSync, and FileClose are the per-file operations of
+// every file the FS has opened, counted globally in open order.
+const (
+	MkdirAll    Kind = "mkdirall"
+	ReadDir     Kind = "readdir"
+	ReadFile    Kind = "readfile"
+	Create      Kind = "create"
+	CreateTrunc Kind = "createtrunc"
+	Rename      Kind = "rename"
+	Remove      Kind = "remove"
+	Truncate    Kind = "truncate"
+	Size        Kind = "size"
+	SyncDir     Kind = "syncdir"
+	Write       Kind = "write"
+	FileSync    Kind = "filesync"
+	FileClose   Kind = "fileclose"
+)
+
+// Kinds lists every operation kind, for tests iterating the full matrix.
+var Kinds = []Kind{
+	MkdirAll, ReadDir, ReadFile, Create, CreateTrunc, Rename, Remove,
+	Truncate, Size, SyncDir, Write, FileSync, FileClose,
+}
+
+// fault is one armed fault: fail the nth (1-based) operation of kind.
+type fault struct {
+	kind  Kind
+	nth   int
+	err   error
+	short bool // write a prefix first and fail with ENOSPC (Write only)
+}
+
+// FS is a fault-injecting wal.VFS. It is safe for concurrent use; at most
+// one fault is armed at a time. The zero value is not usable — construct
+// with New.
+type FS struct {
+	inner wal.VFS
+
+	mu      sync.Mutex
+	counts  map[Kind]int
+	armed   *fault
+	tripped bool
+}
+
+// New wraps inner (nil means the real filesystem) with fault counting and
+// no fault armed.
+func New(inner wal.VFS) *FS {
+	if inner == nil {
+		inner = wal.OSFS
+	}
+	return &FS{inner: inner, counts: make(map[Kind]int)}
+}
+
+// Inject arms the FS to fail the nth (1-based) operation of kind with
+// ErrInjected, counted from now. Only one fault is armed at a time; a fault
+// fires exactly once.
+func (f *FS) Inject(kind Kind, nth int) {
+	f.injectErr(kind, nth, ErrInjected, false)
+}
+
+// InjectShortWrite arms the FS to fail the nth (1-based) Write by writing
+// only a prefix of the data to the inner file and returning ENOSPC — the
+// failure shape of a full disk.
+func (f *FS) InjectShortWrite(nth int) {
+	f.injectErr(Write, nth, syscall.ENOSPC, true)
+}
+
+func (f *FS) injectErr(kind Kind, nth int, err error, short bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = &fault{kind: kind, nth: nth, err: err, short: short}
+	f.tripped = false
+	for k := range f.counts {
+		delete(f.counts, k)
+	}
+}
+
+// Tripped reports whether the armed fault has fired.
+func (f *FS) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// Counts returns a copy of the per-kind operation counts since New or the
+// last Inject.
+func (f *FS) Counts() map[Kind]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Kind]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// step counts one operation and reports the error to inject, if the armed
+// fault addresses exactly this (kind, ordinal). short is only ever set for
+// Write.
+func (f *FS) step(kind Kind) (err error, short bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[kind]++
+	if f.armed != nil && !f.tripped && f.armed.kind == kind && f.counts[kind] == f.armed.nth {
+		f.tripped = true
+		return f.armed.err, f.armed.short
+	}
+	return nil, false
+}
+
+// MkdirAll implements wal.VFS.
+func (f *FS) MkdirAll(dir string) error {
+	if err, _ := f.step(MkdirAll); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// ReadDir implements wal.VFS.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	if err, _ := f.step(ReadDir); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// ReadFile implements wal.VFS.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	if err, _ := f.step(ReadFile); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+// Create implements wal.VFS.
+func (f *FS) Create(path string) (wal.File, error) {
+	if err, _ := f.step(Create); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+// CreateTrunc implements wal.VFS.
+func (f *FS) CreateTrunc(path string) (wal.File, error) {
+	if err, _ := f.step(CreateTrunc); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTrunc(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+// Rename implements wal.VFS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err, _ := f.step(Rename); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements wal.VFS.
+func (f *FS) Remove(path string) error {
+	if err, _ := f.step(Remove); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// Truncate implements wal.VFS.
+func (f *FS) Truncate(path string, size int64) error {
+	if err, _ := f.step(Truncate); err != nil {
+		return err
+	}
+	return f.inner.Truncate(path, size)
+}
+
+// Size implements wal.VFS.
+func (f *FS) Size(path string) (int64, error) {
+	if err, _ := f.step(Size); err != nil {
+		return 0, err
+	}
+	return f.inner.Size(path)
+}
+
+// SyncDir implements wal.VFS.
+func (f *FS) SyncDir(dir string) error {
+	if err, _ := f.step(SyncDir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// file wraps an inner wal.File with the owning FS's fault counting.
+type file struct {
+	fs    *FS
+	inner wal.File
+}
+
+// Write implements wal.File. An injected clean failure writes nothing; an
+// injected short write pushes half the data to the inner file before
+// failing, so the on-disk tail holds a genuinely torn frame.
+func (w *file) Write(p []byte) (int, error) {
+	err, short := w.fs.step(Write)
+	if err != nil {
+		if !short {
+			return 0, err
+		}
+		n, werr := w.inner.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return w.inner.Write(p)
+}
+
+// Sync implements wal.File.
+func (w *file) Sync() error {
+	if err, _ := w.fs.step(FileSync); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+// Close implements wal.File.
+func (w *file) Close() error {
+	if err, _ := w.fs.step(FileClose); err != nil {
+		return err
+	}
+	return w.inner.Close()
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 )
 
 // Record framing. A segment file is
@@ -211,7 +210,12 @@ type SegmentData struct {
 // caller has (is this the final segment? does intact data follow?). A
 // missing or malformed header is returned as a *CorruptError.
 func ReadSegment(path string) (*SegmentData, error) {
-	data, err := os.ReadFile(path)
+	return ReadSegmentFS(OSFS, path)
+}
+
+// ReadSegmentFS is ReadSegment through an explicit VFS.
+func ReadSegmentFS(fs VFS, path string) (*SegmentData, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -3,7 +3,6 @@ package wal
 import (
 	"errors"
 	"fmt"
-	"os"
 )
 
 // ErrNoCheckpoint reports a recovery attempt on a directory that holds no
@@ -29,6 +28,7 @@ type Recovery struct {
 	// epoch.
 	LastEpoch uint64
 
+	fs       VFS
 	segs     []segMeta
 	replayed bool
 }
@@ -37,15 +37,33 @@ type Recovery struct {
 // tail is not read yet; rebuild the engine from the checkpoint first, then
 // call Replay.
 func BeginRecovery(dir string) (*Recovery, error) {
-	segInfos, ckpts, err := ScanDir(dir)
+	return BeginRecoveryFS(OSFS, dir)
+}
+
+// BeginRecoveryFS is BeginRecovery through an explicit VFS; Replay and
+// Continue inherit it, so a whole recovery (and the Log it produces) runs
+// on one file-operation implementation.
+func BeginRecoveryFS(fs VFS, dir string) (*Recovery, error) {
+	segInfos, ckpts, err := ScanDirFS(fs, dir)
 	if err != nil {
 		return nil, err
 	}
-	r := &Recovery{Dir: dir}
+	r := &Recovery{Dir: dir, fs: fs}
 	var lastErr error
 	for i := len(ckpts) - 1; i >= 0; i-- {
-		ck, err := LoadCheckpoint(ckpts[i].Path)
+		ck, err := LoadCheckpointFS(fs, ckpts[i].Path)
 		if err != nil {
+			// Fall back to an older checkpoint only for content damage
+			// (*CorruptError): older segments may already be retired, so
+			// recovering from an older checkpoint is a last resort for a
+			// genuinely rotted file. An I/O failure reading the file says
+			// nothing about its content — surface it and let the caller
+			// retry, rather than fall back and misreport the retired gap
+			// as corruption.
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
@@ -82,7 +100,7 @@ func (r *Recovery) Replay(fix bool, fn func(Record) error) error {
 	for i := range r.segs {
 		seg := &r.segs[i]
 		final := i == len(r.segs)-1
-		sd, err := ReadSegment(seg.path)
+		sd, err := ReadSegmentFS(r.fs, seg.path)
 		if err != nil {
 			// A crash during rotation can leave the just-created final
 			// segment without a complete header; nothing in it was ever
@@ -90,9 +108,9 @@ func (r *Recovery) Replay(fix bool, fn func(Record) error) error {
 			// header anywhere else — or a full-length header with the wrong
 			// magic — stays an error.
 			if final {
-				if fi, statErr := os.Stat(seg.path); statErr == nil && fi.Size() < int64(segmentHeaderSize) {
+				if size, statErr := r.fs.Size(seg.path); statErr == nil && size < int64(segmentHeaderSize) {
 					if fix {
-						if err := os.Remove(seg.path); err != nil {
+						if err := r.fs.Remove(seg.path); err != nil {
 							return err
 						}
 						r.segs = r.segs[:i]
@@ -112,7 +130,7 @@ func (r *Recovery) Replay(fix bool, fn func(Record) error) error {
 				return &CorruptError{Path: seg.path, Offset: sd.Good, Reason: sd.Tail.Error()}
 			}
 			if fix {
-				if err := os.Truncate(seg.path, sd.Good); err != nil {
+				if err := r.fs.Truncate(seg.path, sd.Good); err != nil {
 					return err
 				}
 			}
@@ -152,11 +170,14 @@ func (r *Recovery) Continue(opts Options) (*Log, error) {
 	}
 	opts = opts.normalized()
 	opts.Dir = r.Dir
+	if r.fs != nil {
+		opts.FS = r.fs
+	}
 	nextSeq := uint64(1)
 	for _, s := range r.segs {
 		if s.seq >= nextSeq {
 			nextSeq = s.seq + 1
 		}
 	}
-	return &Log{opts: opts, segs: r.segs, nextSeq: nextSeq, last: r.LastEpoch}, nil
+	return &Log{opts: opts, fs: opts.FS, segs: r.segs, nextSeq: nextSeq, last: r.LastEpoch}, nil
 }

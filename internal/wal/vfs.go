@@ -1,0 +1,129 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// The VFS seam. Every file operation the durability layer performs — segment
+// creation and appends, checkpoint temp-write-rename, directory scans,
+// recovery reads, truncation, retirement — goes through a VFS, so the
+// failure modes real disks exhibit (EIO on write, failed fsync, ENOSPC
+// short writes, rename failures) can be injected deterministically at every
+// site (internal/wal/faultfs) and the log's reaction pinned by tests. The
+// default implementation is a zero-sized wrapper over package os whose File
+// values are *os.File themselves, so the indirection costs an interface
+// call and nothing else — the steady-state append path stays allocation-
+// free through it.
+
+// File is the writable-file surface the log needs from a VFS: append
+// writes, fsync, close. The *os.File type satisfies it directly.
+type File interface {
+	io.Writer
+	// Sync flushes the file's written data to stable storage (fsync). A
+	// Sync error leaves the on-disk state of everything written since the
+	// last successful Sync unknowable; the log never retries it.
+	Sync() error
+	// Close closes the file.
+	Close() error
+}
+
+// VFS abstracts the file operations of a log directory. Implementations
+// must be safe for concurrent use by multiple goroutines; operations take
+// full paths, so one VFS can serve any number of directories.
+type VFS interface {
+	// MkdirAll creates a directory (and parents) if missing.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names in a directory, in any order.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile reads a whole file.
+	ReadFile(path string) ([]byte, error)
+	// Create creates a new file for writing, failing if it already exists
+	// (segments are never reopened or overwritten).
+	Create(path string) (File, error)
+	// CreateTrunc creates a file for writing, truncating any existing one
+	// (checkpoint temporaries, which are discarded on any failure).
+	CreateTrunc(path string) (File, error)
+	// Rename atomically renames a file within the directory.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file. Removing a file that does not exist returns an
+	// error matching os.IsNotExist, exactly as package os does.
+	Remove(path string) error
+	// Truncate cuts a file to the given length.
+	Truncate(path string, size int64) error
+	// Size returns a file's length in bytes.
+	Size(path string) (int64, error)
+	// SyncDir fsyncs a directory, making renames and creates within it
+	// durable. Callers decide whether a failure is fatal (SyncAlways) or
+	// best-effort (weaker modes); see the failure model in
+	// docs/DURABILITY.md.
+	SyncDir(dir string) error
+}
+
+// OSFS is the default VFS: direct calls into package os.
+var OSFS VFS = osFS{}
+
+// osFS implements VFS over package os.
+type osFS struct{}
+
+// MkdirAll implements VFS via os.MkdirAll.
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o777) }
+
+// ReadDir implements VFS via os.ReadDir.
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, ent := range entries {
+		names[i] = ent.Name()
+	}
+	return names, nil
+}
+
+// ReadFile implements VFS via os.ReadFile.
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Create implements VFS via os.OpenFile with O_EXCL.
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o666)
+}
+
+// CreateTrunc implements VFS via os.OpenFile with O_TRUNC.
+func (osFS) CreateTrunc(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+}
+
+// Rename implements VFS via os.Rename.
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements VFS via os.Remove.
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+// Truncate implements VFS via os.Truncate.
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// Size implements VFS via os.Stat.
+func (osFS) Size(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// SyncDir implements VFS by opening the directory and fsyncing it; the
+// sync error wins over the close error.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -42,8 +42,10 @@
 // segments whose records all fall at or below the checkpoint epoch are
 // retired (deleted), and older checkpoints beyond one spare are removed.
 // Recovery prefers the newest loadable checkpoint and falls back to an
-// older one when the newest fails to load; the epoch-continuity check
-// makes a fallback that cannot be completed by replay fail loudly.
+// older one when the newest is damaged (its content fails verification —
+// an I/O error reading it aborts recovery instead, since it says nothing
+// about the file); the epoch-continuity check makes a fallback that
+// cannot be completed by replay fail loudly.
 package wal
 
 import (
@@ -104,6 +106,10 @@ type Options struct {
 	SegmentBytes int64
 	// BatchEvery is the SyncBatched fsync cadence in appends; 0 means 64.
 	BatchEvery int
+	// FS is the file-operation implementation; nil means OSFS (direct os
+	// calls). Tests inject fault-injecting implementations here
+	// (internal/wal/faultfs).
+	FS VFS
 }
 
 // DefaultSegmentBytes is the segment rotation threshold when
@@ -120,6 +126,9 @@ func (o Options) normalized() Options {
 	}
 	if o.BatchEvery <= 0 {
 		o.BatchEvery = defaultBatchEvery
+	}
+	if o.FS == nil {
+		o.FS = OSFS
 	}
 	return o
 }
@@ -138,18 +147,27 @@ type segMeta struct {
 // the metadata needed to rotate and retire segments. Append may be called
 // from one goroutine at a time (the engine's writer lock provides that);
 // WriteCheckpoint and Retire may run concurrently with Append.
+//
+// A Log is fail-stop: the first append/flush/fsync/rotate error latches a
+// sticky wedged state (WedgedError) and every subsequent Append and
+// Checkpointed refuses with it. Nothing is ever written after an error —
+// in particular a failed fsync is never retried, because its page-cache
+// state is unknowable — so the on-disk committed prefix stays exactly what
+// recovery needs. See Wedged.
 type Log struct {
 	opts Options
+	fs   VFS
 
 	mu       sync.Mutex
 	segs     []segMeta // in seq order; the last entry is the active segment (if any)
-	f        *os.File  // active segment file; nil until the first append
+	f        File      // active segment file; nil until the first append
 	w        *bufio.Writer
 	size     int64
 	nextSeq  uint64
 	last     uint64 // last epoch appended (0 = none yet)
 	unsynced int    // appends since the last fsync (SyncBatched)
 	buf      []byte // pooled record-encoding buffer
+	wedged   *WedgedError
 }
 
 // Create opens a fresh log in opts.Dir, creating the directory if needed.
@@ -158,17 +176,37 @@ type Log struct {
 // empty directory.
 func Create(opts Options) (*Log, error) {
 	opts = opts.normalized()
-	if err := os.MkdirAll(opts.Dir, 0o777); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
 		return nil, err
 	}
-	segs, ckpts, err := ScanDir(opts.Dir)
+	segs, ckpts, err := ScanDirFS(opts.FS, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
 	if len(segs) > 0 || len(ckpts) > 0 {
 		return nil, fmt.Errorf("wal: directory %s already contains a log (%d segments, %d checkpoints); use Open to recover it", opts.Dir, len(segs), len(ckpts))
 	}
-	return &Log{opts: opts, nextSeq: 1}, nil
+	return &Log{opts: opts, fs: opts.FS, nextSeq: 1}, nil
+}
+
+// wedgeLocked latches the sticky wedged state on the first failure (later
+// failures keep the original evidence) and returns it.
+func (l *Log) wedgeLocked(op string, err error) error {
+	if l.wedged == nil {
+		l.wedged = &WedgedError{Op: op, Err: err}
+	}
+	return l.wedged
+}
+
+// Wedged returns the sticky wedge error if the log has latched one, nil
+// otherwise.
+func (l *Log) Wedged() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wedged == nil {
+		return nil
+	}
+	return l.wedged
 }
 
 // Append writes one commit record — the epoch the commit publishes and its
@@ -176,36 +214,49 @@ func Create(opts Options) (*Log, error) {
 // segment reached Options.SegmentBytes, and applies the sync policy. Epochs
 // must arrive strictly consecutively; the caller (the engine commit path)
 // guarantees that by construction.
+//
+// Any I/O failure wedges the log: the error comes back wrapped in a
+// *WedgedError and every later Append returns the same error without
+// touching the files again. A failed append may have left a partial frame
+// at the tail of the active segment; because nothing is appended after it,
+// recovery truncates it as a torn tail.
 func (l *Log) Append(epoch uint64, ops []Op) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.wedged != nil {
+		return l.wedged
+	}
 	if l.f == nil || l.size >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(epoch); err != nil {
-			return err
+			return l.wedgeLocked("rotate", err)
 		}
 	}
 	l.buf = appendRecord(l.buf[:0], epoch, ops)
 	n, err := l.w.Write(l.buf)
 	l.size += int64(n)
 	if err != nil {
-		return err
+		return l.wedgeLocked("append", err)
 	}
 	l.last = epoch
 	l.segs[len(l.segs)-1].last = epoch
 	switch l.opts.Sync {
 	case SyncAlways:
 		if err := l.w.Flush(); err != nil {
-			return err
+			return l.wedgeLocked("flush", err)
 		}
-		return l.f.Sync()
+		if err := l.f.Sync(); err != nil {
+			return l.wedgeLocked("sync", err)
+		}
 	case SyncBatched:
 		if err := l.w.Flush(); err != nil {
-			return err
+			return l.wedgeLocked("flush", err)
 		}
 		l.unsynced++
 		if l.unsynced >= l.opts.BatchEvery {
 			l.unsynced = 0
-			return l.f.Sync()
+			if err := l.f.Sync(); err != nil {
+				return l.wedgeLocked("sync", err)
+			}
 		}
 	}
 	return nil
@@ -213,7 +264,11 @@ func (l *Log) Append(epoch uint64, ops []Op) error {
 
 // rotateLocked closes the active segment (flushing and syncing it) and
 // opens the next one, whose header names first as the first epoch it may
-// contain.
+// contain. Under SyncAlways the directory fsync after the create is part of
+// the durability guarantee (the new segment's directory entry must survive
+// power loss before records in it are acknowledged) and its failure is an
+// error; weaker modes keep it best-effort, consistent with their window of
+// acknowledged-but-lost commits.
 func (l *Log) rotateLocked(first uint64) error {
 	if err := l.closeActiveLocked(); err != nil {
 		return err
@@ -221,7 +276,7 @@ func (l *Log) rotateLocked(first uint64) error {
 	seq := l.nextSeq
 	l.nextSeq++
 	path := filepath.Join(l.opts.Dir, segmentName(seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o666)
+	f, err := l.fs.Create(path)
 	if err != nil {
 		return err
 	}
@@ -237,7 +292,9 @@ func (l *Log) rotateLocked(first uint64) error {
 	l.size = int64(len(hdr))
 	l.unsynced = 0
 	l.segs = append(l.segs, segMeta{seq: seq, path: path, first: first, last: first - 1})
-	syncDir(l.opts.Dir)
+	if err := l.fs.SyncDir(l.opts.Dir); err != nil && l.opts.Sync == SyncAlways {
+		return fmt.Errorf("wal: directory fsync after segment create: %w", err)
+	}
 	return nil
 }
 
@@ -259,11 +316,27 @@ func (l *Log) closeActiveLocked() error {
 
 // Close flushes and closes the active segment. A log must be closed (or
 // every commit synced with SyncAlways/SyncBatched) for buffered appends to
-// reach the OS; see SyncOff.
+// reach the OS; see SyncOff. Close is idempotent, and Close on a wedged
+// log writes nothing — no flush, no fsync — because the wedge means the
+// file's state is unknowable; it just releases the descriptor and returns
+// nil (the wedge was already reported to the append that latched it).
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.closeActiveLocked()
+	if l.wedged != nil {
+		if l.f != nil {
+			l.f.Close()
+			l.f, l.w, l.size = nil, nil, 0
+		}
+		return nil
+	}
+	err := l.closeActiveLocked()
+	if err != nil {
+		// A failed close flush/fsync wedges like a failed append: the tail's
+		// state is unknowable, so a (buggy) later use must not write.
+		return l.wedgeLocked("flush", err)
+	}
+	return nil
 }
 
 // LastEpoch returns the epoch of the most recently appended record, or the
@@ -283,18 +356,24 @@ func (l *Log) LastEpoch() uint64 {
 func (l *Log) Checkpointed(epoch uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.wedged != nil {
+		return l.wedged
+	}
 	// Rotate only a segment that holds records; an empty active segment can
 	// keep serving appends.
 	if l.f != nil && l.segs[len(l.segs)-1].last >= l.segs[len(l.segs)-1].first {
 		if err := l.rotateLocked(l.last + 1); err != nil {
-			return err
+			return l.wedgeLocked("rotate", err)
 		}
 	}
 	var kept []segMeta
 	for i, s := range l.segs {
 		active := i == len(l.segs)-1
 		if !active && s.last <= epoch {
-			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			// Retirement failures don't wedge: nothing was written to the log
+			// stream, so appends remain safe; the caller just learns cleanup
+			// didn't finish (a later checkpoint retries it).
+			if err := l.fs.Remove(s.path); err != nil && !os.IsNotExist(err) {
 				return err
 			}
 			continue
@@ -302,14 +381,14 @@ func (l *Log) Checkpointed(epoch uint64) error {
 		kept = append(kept, s)
 	}
 	l.segs = kept
-	syncDir(l.opts.Dir)
-	return retireCheckpoints(l.opts.Dir, epoch)
+	l.fs.SyncDir(l.opts.Dir) // best-effort: retired files reappearing is harmless
+	return retireCheckpoints(l.fs, l.opts.Dir, epoch)
 }
 
 // retireCheckpoints deletes checkpoints older than the newest one below
 // epoch — i.e. it keeps the checkpoint at epoch and one older spare.
-func retireCheckpoints(dir string, epoch uint64) error {
-	_, ckpts, err := ScanDir(dir)
+func retireCheckpoints(fs VFS, dir string, epoch uint64) error {
+	_, ckpts, err := ScanDirFS(fs, dir)
 	if err != nil {
 		return err
 	}
@@ -320,7 +399,7 @@ func retireCheckpoints(dir string, epoch uint64) error {
 		}
 	}
 	for i := 0; i+1 < len(older); i++ { // older is epoch-sorted; keep the last
-		if err := os.Remove(older[i].Path); err != nil && !os.IsNotExist(err) {
+		if err := fs.Remove(older[i].Path); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 	}
@@ -348,14 +427,21 @@ type CkptInfo struct {
 // order) of a log directory. Unrelated files are ignored; temporary
 // checkpoint files left by a crash are removed.
 func ScanDir(dir string) ([]SegInfo, []CkptInfo, error) {
-	entries, err := os.ReadDir(dir)
+	return ScanDirFS(OSFS, dir)
+}
+
+// ScanDirFS is ScanDir through an explicit VFS. The .tmp removal is
+// best-effort cleanup of crash leftovers — a removal failure is ignored,
+// never surfaced, because a stale temporary is inert (recovery and
+// checkpointing never read .tmp files).
+func ScanDirFS(fs VFS, dir string) ([]SegInfo, []CkptInfo, error) {
+	names, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	var segs []SegInfo
 	var ckpts []CkptInfo
-	for _, ent := range entries {
-		name := ent.Name()
+	for _, name := range names {
 		switch {
 		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
 			seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 10, 64)
@@ -370,7 +456,7 @@ func ScanDir(dir string) ([]SegInfo, []CkptInfo, error) {
 			}
 			ckpts = append(ckpts, CkptInfo{Epoch: epoch, Path: filepath.Join(dir, name)})
 		case strings.HasSuffix(name, ".tmp"):
-			os.Remove(filepath.Join(dir, name))
+			fs.Remove(filepath.Join(dir, name))
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
@@ -383,14 +469,3 @@ func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.seg", seq) }
 
 // checkpointName renders the filename of the checkpoint at epoch.
 func checkpointName(epoch uint64) string { return fmt.Sprintf("ckpt-%020d.ckpt", epoch) }
-
-// syncDir fsyncs a directory so renames and creates within it are durable.
-// Best-effort: some filesystems reject directory fsync, and the log's
-// correctness does not depend on it (a lost rename reappears as the
-// pre-rename state, which recovery handles).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-}

@@ -147,6 +147,18 @@
 // do not support Durability. The cmd/ivmwal tool inspects and verifies log
 // directories offline, and docs/DURABILITY.md specifies the file formats,
 // the recovery rules, and the full crash-guarantee table.
+//
+// Durability also defines behavior when the disk itself fails. The first
+// write, flush, fsync, or segment-rotation error wedges the log: the commit
+// that hit it fails with a LogWedgedError and is not applied, nothing is
+// ever written to the log files again (in particular a failed fsync is
+// never retried — its page-cache state is unknowable), and the engine
+// degrades to read-only: every further Insert/Delete/Apply/ApplyBatch/
+// Commit returns the same LogWedgedError with the in-memory state
+// untouched, while Snapshot, All, Rows, Count, and Enumerate keep serving
+// the last committed state. Recovery is by restart: reopen the directory
+// with Open, which replays exactly the commits that reached disk. See the
+// failure model in docs/DURABILITY.md.
 package ivmeps
 
 import (
@@ -265,10 +277,12 @@ type Engine struct {
 	built   bool
 
 	// Durability state (durability.go): nil/zero unless Options.Durability
-	// was configured. walOps is the pooled op buffer of the commit hook.
+	// was configured. walOps is the pooled op buffer of the commit hook;
+	// closed makes Close idempotent.
 	dur    Durability
 	wal    *wal.Log
 	walOps []wal.Op
+	closed bool
 }
 
 // New creates an engine. The query must be hierarchical (use Classify to
@@ -406,7 +420,17 @@ func (e *Engine) ApplyBatch(rel string, rows [][]int64, mults []int64) error {
 // any; an engine without durability always returns nil. The engine's
 // in-memory state remains usable after Close, but a durable engine logs no
 // further commits — Close is for shutdown.
+//
+// Close is idempotent — a second Close returns nil — and wedge-safe: on an
+// engine whose log wedged (LogWedgedError), Close writes nothing to the log
+// files (no flush, no fsync; the wedge means their state is unknowable) and
+// returns nil, the wedge having already been reported to the mutation that
+// latched it.
 func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
 	e.e.Close()
 	if e.wal == nil {
 		return nil
