@@ -7,9 +7,10 @@ GO ?= go
 
 # The update-path benchmark set: single-tuple updates, sequential batches,
 # the parallel-batch worker sweep, the sharded-federation commit and gather
-# paths, and the durable commit path at each fsync policy. Keep in sync
-# with BENCH_update.json.
-BENCH_RE = Update|Batch|Parallel|Sharded|WAL
+# paths, the durable commit path at each fsync policy, and the watch
+# fan-out sweep (whose subs=0 case pins the zero-watcher commit path at
+# 0 allocs/op). Keep in sync with BENCH_update.json.
+BENCH_RE = Update|Batch|Parallel|Sharded|WAL|Watch
 
 .PHONY: check test vet bench bench-fresh diff-allocs diff-time bench-check bench-check-allocs docs-check api-check api-update bench-all
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"ivmeps"
@@ -849,6 +850,117 @@ func BenchmarkShardedEnumerate(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkWatchFanout measures what watch fan-out adds to the steady-state
+// commit path, on the same warmed Reset/refill/Commit cycle as the other
+// commit benchmarks (an insert batch then its inverse, 16 rows per relation
+// each). subs=0 is the acceptance baseline: a watcher existed and was
+// closed, so capture is disarmed and the commit path must be back to its
+// zero-overhead state — allocs/op is pinned at 0 by the CI bench gate. For
+// subs>0 every consumer runs in lockstep with the committer (one ack per
+// delivered event before the next commit), so the in-flight record count,
+// the freelist behavior, and therefore allocs/op are deterministic rather
+// than scheduling-dependent: the per-commit record and every conversion
+// arena are reused, and the fan-out itself is allocation-free.
+func BenchmarkWatchFanout(b *testing.B) {
+	pub := ivmeps.MustParseQuery("Q(A, C) = R(A, B), S(B, C)")
+	for _, subs := range []int{0, 1, 8, 64} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			e, err := ivmeps.New(pub, ivmeps.Options{Epsilon: 0.5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			rng := rand.New(rand.NewSource(53))
+			for i := 0; i < benchN; i++ {
+				if err := e.Load("R", []int64{rng.Int63n(benchN), rng.Int63n(64)}); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Load("S", []int64{rng.Int63n(64), rng.Int63n(benchN)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := e.Build(); err != nil {
+				b.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			acks := make([]chan struct{}, subs)
+			watchers := make([]*ivmeps.Watcher, subs)
+			for i := range watchers {
+				w, err := e.Watch(ivmeps.WatchOptions{Buffer: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Snapshot().Close() // no live snapshot during the measured loop
+				watchers[i] = w
+				acks[i] = make(chan struct{}, 1)
+				wg.Add(1)
+				go func(w *ivmeps.Watcher, ack chan<- struct{}) {
+					defer wg.Done()
+					for _, err := range w.Events() {
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						ack <- struct{}{}
+					}
+				}(w, acks[i])
+			}
+			if subs == 0 {
+				// The baseline case still arms and disarms capture once, so
+				// it measures the true "watchers came and went" state.
+				w, err := e.Watch(ivmeps.WatchOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Close()
+			}
+
+			const rowsPerRel = 16
+			var rRows, sRows [][]int64
+			for i := int64(0); i < rowsPerRel; i++ {
+				rRows = append(rRows, []int64{benchN + i, i % 4})
+				sRows = append(sRows, []int64{i % 4, 2*benchN + i})
+			}
+			batch := e.NewBatch()
+			fill := func(mult int64) {
+				batch.Reset()
+				for i := range rRows {
+					batch.Apply("R", rRows[i], mult)
+					batch.Apply("S", sRows[i], mult)
+				}
+			}
+			commit := func() {
+				if err := e.Commit(batch); err != nil {
+					b.Fatal(err)
+				}
+				for i := range acks {
+					<-acks[i]
+				}
+			}
+			cycle := func() {
+				fill(1)
+				commit()
+				fill(-1)
+				commit()
+			}
+			for i := 0; i < 3; i++ {
+				cycle()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cycle()
+			}
+			b.StopTimer()
+			for _, w := range watchers {
+				w.Close()
+			}
+			wg.Wait()
+		})
 	}
 }
 

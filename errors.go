@@ -8,6 +8,7 @@ import (
 	"ivmeps/internal/federation"
 	"ivmeps/internal/relation"
 	"ivmeps/internal/wal"
+	"ivmeps/internal/watch"
 )
 
 // Every data-validation rejection of the mutation and snapshot paths is
@@ -152,6 +153,33 @@ func (e *LogWedgedError) Error() string {
 // Unwrap exposes the original I/O error to errors.Is / errors.As.
 func (e *LogWedgedError) Unwrap() error { return e.Err }
 
+// ErrWatcherLagged classifies the eviction of a watcher that fell more
+// commits behind the writer than its buffer holds. It never arrives bare:
+// the stream's final error is a *WatcherLaggedError carrying the exact
+// missed epoch range, which errors.Is matches against this sentinel.
+var ErrWatcherLagged = errors.New("ivmeps: watcher lagged behind the commit rate and was evicted")
+
+// WatcherLaggedError is the final error of an evicted watcher's event
+// stream: the commits with epochs From through To (inclusive) were dropped.
+// Everything before From was delivered in order; nothing after To will be.
+// The watcher itself is finished — resynchronize by opening a new Watch,
+// whose anchor snapshot reflects everything that was missed. Match the
+// class with errors.Is(err, ErrWatcherLagged), the range with errors.As:
+//
+//	var wle *ivmeps.WatcherLaggedError
+//	if errors.As(err, &wle) { ... wle.From, wle.To ...
+type WatcherLaggedError struct {
+	From, To uint64
+}
+
+// Error formats the eviction report.
+func (e *WatcherLaggedError) Error() string {
+	return fmt.Sprintf("ivmeps: watcher lagged: missed commits %d..%d (buffer full; re-anchor with a new Watch)", e.From, e.To)
+}
+
+// Is matches the ErrWatcherLagged sentinel class.
+func (e *WatcherLaggedError) Is(target error) bool { return target == ErrWatcherLagged }
+
 // wrapErr maps the engine's internal structured errors onto the public
 // ArityError / MultiplicityError / ShardError / CorruptLogError /
 // LogWedgedError types. Sentinels pass through untouched — they are shared
@@ -184,6 +212,10 @@ func wrapErr(err error) error {
 	var me *relation.MultiplicityError
 	if errors.As(err, &me) {
 		return &MultiplicityError{Relation: me.Relation, Row: me.Tuple, Have: me.Have, Delta: me.Delta}
+	}
+	var le *watch.LaggedError
+	if errors.As(err, &le) {
+		return &WatcherLaggedError{From: le.From, To: le.To}
 	}
 	return err
 }

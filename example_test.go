@@ -261,3 +261,48 @@ func Example_checkpointRecover() {
 	// Q(3, 7) x1
 	// epoch 3 after 2 commits
 }
+
+// A Watcher turns the engine into a change stream: anchored at a snapshot
+// of the committed state, it then yields every commit's root-view delta in
+// epoch order with no gaps, so folding the deltas over the anchor tracks
+// the result exactly — a cache or downstream replica stays consistent
+// without ever re-reading the engine. Here the two commits after the
+// anchor arrive as one event each: the insert joins one new result row
+// into existence, the delete retracts both rows that depended on S(10, 7).
+func Example_watch() {
+	q := ivmeps.MustParseQuery("Q(A, C) = R(A, B), S(B, C)")
+	e, _ := ivmeps.New(q, ivmeps.Options{Epsilon: 0.5})
+	_ = e.Load("R", []int64{1, 10})
+	_ = e.Load("S", []int64{10, 7})
+	_ = e.Build()
+
+	w, _ := e.Watch(ivmeps.WatchOptions{})
+	defer w.Close()
+	anchor := w.Snapshot() // the state the stream's first event builds on
+	fmt.Println("anchored at epoch", anchor.Epoch())
+	anchor.Close()
+
+	_ = e.Insert("R", []int64{2, 10})
+	_ = e.Delete("S", []int64{10, 7})
+
+	events := 0
+	for ev, err := range w.Events() {
+		if err != nil { // a WatcherLaggedError: re-anchor with a new Watch
+			fmt.Println(err)
+			break
+		}
+		for _, d := range ev.Deltas {
+			for i, row := range d.Rows {
+				fmt.Printf("epoch %d: Q%v %+d\n", ev.Epoch, row, d.Mults[i])
+			}
+		}
+		if events++; events == 2 {
+			break
+		}
+	}
+	// Output:
+	// anchored at epoch 1
+	// epoch 2: Q[2 7] +1
+	// epoch 3: Q[1 7] -1
+	// epoch 3: Q[2 7] -1
+}

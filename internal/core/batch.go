@@ -349,6 +349,7 @@ func (e *Engine) applyStagedLocked() {
 	e.flushWorkerStats()
 	e.releaseStagedLocked()
 	e.epoch++ // commit point: publish the post-batch state to future snapshots
+	e.publishCommitLocked()
 }
 
 // rebalanceBatchLocked is the commit-boundary major-rebalance trigger

@@ -169,6 +169,17 @@ type Engine struct {
 	hookOp     [1]BatchOp
 	degraded   error
 
+	// Commit-delta capture (watch.go): roots names the main-tree root
+	// views (built at Preprocess, read-only after); sink, when set,
+	// receives one pooled CommitDelta per commit, capSet holds the
+	// per-tree capture slots the propagation workers fill, and cdFree is
+	// the record freelist. All sink state is guarded by mu.
+	roots   []rootView
+	rootIdx map[string]int
+	sink    CommitSink
+	capSet  *captureSet
+	cdFree  chan *CommitDelta
+
 	// curGen caches the frozen relation generation of the current epoch so
 	// repeated Snapshot calls between commits are O(1): the first capture
 	// after a commit walks the forest and freezes every relation once,

@@ -52,6 +52,7 @@ func Preprocess(e *Engine, db naive.Database) error {
 	if e.opts.Mode == viewtree.Dynamic {
 		e.buildRoutes()
 	}
+	e.buildRootsLocked()
 	e.preprocessed = true
 	e.epoch = 1 // first committed state
 	return nil

@@ -114,6 +114,13 @@ func (e *Engine) Snapshot() *Snapshot {
 		// public Enumerate/Rows/Count/All): recover sees ErrNotBuilt itself.
 		panic(ErrNotBuilt)
 	}
+	return e.snapshotLocked()
+}
+
+// snapshotLocked captures a snapshot with the writer lock already held and
+// the engine known to be preprocessed; SubscribeCommits uses it to take the
+// anchor under the same hold that installs the sink.
+func (e *Engine) snapshotLocked() *Snapshot {
 	g := e.curGen
 	if g == nil {
 		g = &snapGen{rels: make(map[*viewtree.Node]*relation.Relation)}

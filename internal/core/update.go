@@ -141,6 +141,7 @@ func (e *Engine) Update(rel string, t tuple.Tuple, m int64) error {
 	e.stats.Updates++
 	e.flushWorkerStats()
 	e.epoch++ // commit point: publish the new state to future snapshots
+	e.publishCommitLocked()
 	return nil
 }
 
@@ -301,6 +302,26 @@ func (e *Engine) propagateIndicator(s *indShared, key tuple.Tuple, dh int64) {
 // (b) nothing mutates the shared leaf relations during the phase — the
 // invariants runJobs maintains.
 func (ws *workerState) propagatePath(lp *leafPath, d *delta) {
+	// Commit-delta capture (watch.go): while a sink is subscribed, the rows
+	// the final edge applies to a main tree's root view are that view's
+	// commit delta; slot lp.tree is owned by this worker for the phase. A
+	// tree whose root is itself a leaf has no edges, and the input delta is
+	// the root delta.
+	var capd *delta
+	if cs := ws.cap; cs != nil && lp.tree < len(cs.slots) {
+		capd = &cs.slots[lp.tree]
+	}
+	if len(lp.edges) == 0 {
+		if capd != nil {
+			for j := range d.rows {
+				if d.rows[j].m != 0 {
+					capd.add(d.rows[j].t, d.rows[j].m)
+				}
+			}
+		}
+		return
+	}
+	last := len(lp.edges) - 1
 	cur := d
 	for i := range lp.edges {
 		edge := &lp.edges[i]
@@ -317,6 +338,9 @@ func (ws *workerState) propagatePath(lp *leafPath, d *delta) {
 				continue
 			}
 			edge.view.MustAdd(cur.rows[j].t, cur.rows[j].m)
+			if capd != nil && i == last {
+				capd.add(cur.rows[j].t, cur.rows[j].m)
+			}
 			ws.deltasApplied++
 			applied = true
 		}
@@ -481,7 +505,17 @@ func (p *updPlan) rec(ws *workerState, scratch []tuple.Value, i int, mult int64,
 // amortized cost is O(N^((w−1)ε)) per update (Proposition 25 and the proof
 // of Proposition 27).
 func (e *Engine) majorRebalance() {
+	// materializeAll refills root views in place, bypassing propagation:
+	// while a sink is subscribed, bracket it with a −m/+m pass over the
+	// roots so the capture slots net the rebalance's exact diff (watch.go).
+	cs := e.ws0.cap
+	if cs != nil {
+		cs.captureRebalanceDiff(e, -1)
+	}
 	e.materializeAll()
+	if cs != nil {
+		cs.captureRebalanceDiff(e, 1)
+	}
 	e.stats.MajorRebalances++
 }
 

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+)
+
+// Commit-delta capture. During propagation the engine already materializes
+// the exact delta of every root view — the rows the final path edge applies
+// — and then discards it. This file captures those rows at the commit point
+// into a pooled, epoch-stamped CommitDelta record and hands it to an
+// optional CommitSink under the writer lock, so the record stream is
+// totally ordered by epoch with no gaps: every commit publishes exactly one
+// record (possibly with no view changes), and record N+1 is the state diff
+// from the state record N left behind.
+//
+// Capture is pay-as-you-go: with no sink installed the only cost on the
+// commit path is one nil check, which keeps the steady-state zero-alloc
+// guarantee of the update and batch paths intact. With a sink installed,
+// each main tree owns one capture slot (a pooled delta aggregating by
+// tuple), written only by the worker that drains that tree — the same
+// one-tree-one-worker discipline that makes parallel propagation safe makes
+// the capture slots race-free, and the runJobs barrier plus the pool's
+// channel handoff order the slot contents before the publish.
+//
+// Three capture sites cover every way a root view changes:
+//
+//   - propagatePath: the rows the final edge applies to the root view ARE
+//     the root delta (the common case, including minor rebalances and
+//     indicator propagation, which reuse the same paths);
+//   - root-is-leaf trees (a tree whose root is an Atom or LightAtom leaf
+//     has no edges): the input delta itself is the root delta;
+//   - majorRebalance: materializeAll refills views in place, bypassing
+//     propagation, so the slots take a pre-pass (−m per root row) and a
+//     post-pass (+m); aggregation nets the pair to the exact diff.
+
+// ViewDelta is the per-commit change of one root view: Rows[i] changed
+// multiplicity by Mults[i] (never zero). Rows within one ViewDelta are
+// distinct.
+type ViewDelta struct {
+	View  string
+	Rows  []tuple.Tuple
+	Mults []int64
+}
+
+// CommitDelta is the root-view diff published by one commit: applying every
+// ViewDelta to the state as of epoch Epoch−1 yields the state as of Epoch.
+// Commits that changed no root view publish an empty Views slice, so
+// consecutive records always have consecutive epochs.
+//
+// Records are pooled and reference-counted: the engine publishes each
+// record with one reference held for the duration of the sink call; a sink
+// that hands the record to consumers must Retain once per handoff, and
+// every holder must Release exactly once. The record's contents (including
+// the tuple storage behind Rows) are immutable until the last Release, and
+// recycled after it.
+type CommitDelta struct {
+	Epoch uint64
+	Views []ViewDelta
+
+	refs atomic.Int32
+	free chan *CommitDelta
+
+	// Record-owned backing storage: rows/mults arenas subsliced per view,
+	// and one flat value buffer behind every row tuple. Capacities survive
+	// recycling, so a warmed publish path allocates nothing.
+	buf   tuple.Tuple
+	rows  []tuple.Tuple
+	mults []int64
+}
+
+// Retain adds one reference to the record. Safe from any goroutine.
+func (cd *CommitDelta) Retain() { cd.refs.Add(1) }
+
+// Release drops one reference; the last Release recycles the record. Safe
+// from any goroutine.
+func (cd *CommitDelta) Release() {
+	if cd.refs.Add(-1) != 0 {
+		return
+	}
+	cd.Epoch = 0
+	cd.Views = cd.Views[:0]
+	cd.buf = cd.buf[:0]
+	cd.rows = cd.rows[:0]
+	cd.mults = cd.mults[:0]
+	select {
+	case cd.free <- cd:
+	default: // freelist full: let the GC take this one
+	}
+}
+
+// CommitSink consumes the engine's per-commit root-view delta records.
+// PublishCommit is called under the engine's writer lock, once per commit,
+// in strictly increasing epoch order. The sink must not block, must not
+// call back into the engine, and must Retain the record before sharing it
+// beyond the call (the engine's own reference dies when the call returns).
+type CommitSink interface {
+	PublishCommit(cd *CommitDelta)
+}
+
+// rootView is one main-tree root: the engine-assigned view name exposed by
+// RootViews/ViewForEach/commit deltas, and the node whose relation holds
+// the view's content.
+type rootView struct {
+	name string
+	node *viewtree.Node
+}
+
+// buildRootsLocked names the main-tree roots, in forest order (the same
+// order buildRoutes numbers the main trees, so root i ↔ tree id i). Root
+// node names are unique per view-tree builder, but a builder may reuse one
+// subtree as the root of several trees; duplicates get a "#n" suffix so
+// names stay unique and stable.
+func (e *Engine) buildRootsLocked() {
+	trees := e.forest.Trees()
+	e.roots = make([]rootView, len(trees))
+	e.rootIdx = make(map[string]int, len(trees))
+	for i, tr := range trees {
+		name := tr.Name
+		if _, dup := e.rootIdx[name]; dup {
+			name = fmt.Sprintf("%s#%d", name, i+1)
+		}
+		e.roots[i] = rootView{name: name, node: tr}
+		e.rootIdx[name] = i
+	}
+}
+
+// RootViews returns the engine-assigned names of the root views, one per
+// main view tree, in a fixed order. These are the View names appearing in
+// CommitDelta records and accepted by Snapshot.ViewForEach. Empty before
+// Preprocess.
+func (e *Engine) RootViews() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.roots))
+	for i := range e.roots {
+		out[i] = e.roots[i].name
+	}
+	return out
+}
+
+// ViewForEach calls fn for every row of one root view in the snapshot's
+// frozen state, with its multiplicity. It reports whether the view name is
+// known. The tuple passed to fn is only valid during the call.
+func (s *Snapshot) ViewForEach(view string, fn func(t tuple.Tuple, m int64)) bool {
+	if s.closed {
+		panic("core: ViewForEach on a closed Snapshot")
+	}
+	i, ok := s.e.rootIdx[view]
+	if !ok {
+		return false
+	}
+	s.ctx.rels[s.e.roots[i].node].ForEach(fn)
+	return true
+}
+
+// captureSet is the per-commit capture state: one slot (an aggregating
+// delta) per main tree, indexed by the tree's dense id. Slot i is written
+// only by the worker draining tree i during a phase, and drained by
+// publishCommitLocked under the writer lock after the phase barrier.
+type captureSet struct {
+	roots []rootView
+	slots []delta
+}
+
+// setCaptureLocked points every worker's capture reference at the engine's
+// capture set (or clears it). Helpers see the new value through the pool's
+// channel handoff; runJobsParallel re-syncs states it creates later.
+func (e *Engine) setCaptureLocked(on bool) {
+	if on {
+		if e.capSet == nil {
+			e.capSet = &captureSet{roots: e.roots, slots: make([]delta, len(e.roots))}
+		}
+	} else if e.capSet != nil {
+		for i := range e.capSet.slots {
+			e.capSet.slots[i].reset()
+		}
+	}
+	var cs *captureSet
+	if on {
+		cs = e.capSet
+	}
+	e.ws0.cap = cs
+	if e.pool != nil {
+		for _, ws := range e.pool.states {
+			ws.cap = cs
+		}
+	}
+}
+
+// captureRebalanceDiff runs around majorRebalance's materializeAll: the
+// pre-pass adds every root row with −m, the post-pass with +m; rows the
+// rebalance left unchanged cancel out in the slot's aggregation. Atom roots
+// are skipped — materializeAll never changes base relations.
+func (cs *captureSet) captureRebalanceDiff(e *Engine, sign int64) {
+	for i := range cs.slots {
+		root := cs.roots[i].node
+		if root.Kind == viewtree.Atom {
+			continue
+		}
+		sl := &cs.slots[i]
+		e.relOf(root).ForEach(func(t tuple.Tuple, m int64) {
+			sl.add(t, sign*m)
+		})
+	}
+}
+
+// SubscribeCommits installs sink and captures its anchor under one
+// writer-lock hold: the returned Snapshot observes the committed state at
+// some epoch E, register (if non-nil) runs with E while the lock is still
+// held, and the sink then receives every commit with epoch > E, gap-free.
+// Only one sink can be installed at a time; subscribing the installed sink
+// again just adds an anchor (the broadcaster pattern: one sink, many
+// subscribers). The caller owns the Snapshot and must Close it.
+func (e *Engine) SubscribeCommits(sink CommitSink, register func(epoch uint64)) (*Snapshot, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("core: SubscribeCommits: nil sink")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.preprocessed {
+		return nil, fmt.Errorf("core: SubscribeCommits: %w (run Preprocess first)", ErrNotBuilt)
+	}
+	if e.sink != nil && e.sink != sink {
+		return nil, fmt.Errorf("core: SubscribeCommits: another commit sink is already installed")
+	}
+	s := e.snapshotLocked()
+	if e.sink == nil {
+		e.sink = sink
+		if e.cdFree == nil {
+			e.cdFree = make(chan *CommitDelta, commitDeltaFreelist)
+		}
+		e.setCaptureLocked(true)
+	}
+	if register != nil {
+		register(e.epoch)
+	}
+	return s, nil
+}
+
+// commitDeltaFreelist bounds the engine's record pool. In steady state at
+// most a handful of records are in flight per subscriber ring slot; records
+// beyond the bound fall to the GC.
+const commitDeltaFreelist = 256
+
+// UnsubscribeCommits removes sink, disabling capture, if it is the
+// installed sink and ifIdle (if non-nil) reports true. ifIdle runs under
+// the writer lock so a broadcaster can check "no subscribers remain"
+// atomically with the removal — a concurrent Subscribe on the same sink
+// serializes before or after the whole check-and-remove.
+func (e *Engine) UnsubscribeCommits(sink CommitSink, ifIdle func() bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sink != sink || sink == nil {
+		return
+	}
+	if ifIdle != nil && !ifIdle() {
+		return
+	}
+	e.sink = nil
+	e.setCaptureLocked(false)
+}
+
+// publishCommitLocked drains the capture slots into a pooled record for the
+// epoch just published (e.epoch) and hands it to the sink. Called at every
+// commit point, right after the epoch bump, under the writer lock.
+func (e *Engine) publishCommitLocked() {
+	cs := e.ws0.cap
+	if cs == nil {
+		return
+	}
+	var cd *CommitDelta
+	select {
+	case cd = <-e.cdFree:
+	default:
+		cd = &CommitDelta{free: e.cdFree}
+	}
+	// Pre-size the arenas so the fill pass never relocates a buffer a
+	// ViewDelta already points into.
+	nVals, nRows := 0, 0
+	for i := range cs.slots {
+		for j := range cs.slots[i].rows {
+			if cs.slots[i].rows[j].m != 0 {
+				nVals += len(cs.slots[i].rows[j].t)
+				nRows++
+			}
+		}
+	}
+	if cap(cd.buf) < nVals {
+		cd.buf = make(tuple.Tuple, 0, nVals)
+	}
+	if cap(cd.rows) < nRows {
+		cd.rows = make([]tuple.Tuple, 0, nRows)
+	}
+	if cap(cd.mults) < nRows {
+		cd.mults = make([]int64, 0, nRows)
+	}
+	cd.Epoch = e.epoch
+	for i := range cs.slots {
+		sl := &cs.slots[i]
+		start := len(cd.rows)
+		for j := range sl.rows {
+			w := &sl.rows[j]
+			if w.m == 0 {
+				continue
+			}
+			off := len(cd.buf)
+			cd.buf = append(cd.buf, w.t...)
+			cd.rows = append(cd.rows, cd.buf[off:len(cd.buf):len(cd.buf)])
+			cd.mults = append(cd.mults, w.m)
+		}
+		if len(cd.rows) > start {
+			cd.Views = append(cd.Views, ViewDelta{
+				View:  cs.roots[i].name,
+				Rows:  cd.rows[start:len(cd.rows):len(cd.rows)],
+				Mults: cd.mults[start:len(cd.mults):len(cd.mults)],
+			})
+		}
+		sl.reset()
+	}
+	cd.refs.Store(1)
+	e.sink.PublishCommit(cd)
+	cd.Release()
+}

@@ -56,6 +56,11 @@ type workerState struct {
 	// (used only via the engine's ws0).
 	d1 delta
 
+	// cap points at the engine's commit-delta capture slots while a sink
+	// is subscribed, nil otherwise (watch.go). Set under the writer lock;
+	// helpers observe changes through the pool's channel handoff.
+	cap *captureSet
+
 	// deltasApplied counts view maintenance writes; merged into
 	// Stats.DeltasApplied when the worker quiesces.
 	deltasApplied int64
@@ -198,6 +203,11 @@ func (e *Engine) runJobsParallel(groups []int) {
 		// Lazy start, so engines that never batch in parallel spawn nothing.
 		e.pool = newWorkerPool(e.nWorkers-1, len(e.vars))
 		e.cleanup = runtime.AddCleanup(e, func(p *workerPool) { p.close() }, e.pool)
+		// A sink subscribed before the pool existed: the fresh states need
+		// the capture reference ws0 already carries.
+		for _, ws := range e.pool.states {
+			ws.cap = e.ws0.cap
+		}
 	}
 	t := &e.pool.task
 	t.jobs = e.jobGroups

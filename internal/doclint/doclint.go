@@ -1,12 +1,13 @@
 // Package doclint keeps the repository's documentation from rotting: it
 // checks that every relative link (and heading anchor) in the markdown
 // files resolves, that every exported Go declaration carries a doc comment,
-// and that every exported name of the public package is reachable from its
+// that every exported name of the public package is reachable from its
 // narrative docs (mentioned in the package comment or exercised by an
-// example). It runs as an ordinary test (`go test ./internal/doclint/`, or
-// `make docs-check`), so the CI docs job fails the moment ARCHITECTURE.md
-// points at a file that was renamed or a new exported API lands
-// undocumented.
+// example), and that PAPERS.md stays a citation index rather than a dump of
+// retrieval output. It runs as an ordinary test (`go test
+// ./internal/doclint/`, or `make docs-check`), so the CI docs job fails the
+// moment ARCHITECTURE.md points at a file that was renamed or a new
+// exported API lands undocumented.
 package doclint
 
 import (
@@ -237,6 +238,49 @@ func declKind(fd *ast.FuncDecl) string {
 		return "method"
 	}
 	return "function"
+}
+
+// papersURL matches any absolute URL, for vetting PAPERS.md's links.
+var papersURL = regexp.MustCompile(`https?://[^\s)>\]]+`)
+
+// CheckPapersIndex lints root's PAPERS.md as a citation index. Retrieval
+// pipelines tend to leave transcript debris behind — dead "(figure omitted
+// in retrieval)" stubs, pasted author lists full of <sup> affiliation
+// markers, fenced blocks of raw paper text — and links to anything but a
+// paper's canonical arXiv abstract page rot or were never real. One
+// complaint per offending line; a missing PAPERS.md is not an error (not
+// every checkout carries the index).
+func CheckPapersIndex(root string) ([]string, error) {
+	const name = "PAPERS.md"
+	data, err := os.ReadFile(filepath.Join(root, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var complaints []string
+	for i, line := range strings.Split(string(data), "\n") {
+		at := func(format string, args ...any) {
+			complaints = append(complaints,
+				fmt.Sprintf("%s:%d: %s", name, i+1, fmt.Sprintf(format, args...)))
+		}
+		if strings.Contains(line, "figure omitted") {
+			at("dead figure stub left over from retrieval")
+		}
+		if strings.Contains(line, "<sup>") {
+			at("raw author-list debris (<sup> affiliation markup)")
+		}
+		if t := strings.TrimSpace(line); strings.HasPrefix(t, "```") || strings.HasPrefix(t, "~~~") {
+			at("code fence — PAPERS.md is a citation index, not a paper transcript")
+		}
+		for _, u := range papersURL.FindAllString(line, -1) {
+			if !strings.HasPrefix(u, "https://arxiv.org/abs/") {
+				at("link %s is not a canonical arXiv abstract page (https://arxiv.org/abs/<id>)", u)
+			}
+		}
+	}
+	return complaints, nil
 }
 
 // CheckAPIMentions checks that every exported top-level name of the Go

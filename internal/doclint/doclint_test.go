@@ -86,6 +86,59 @@ func TestAPIMentions(t *testing.T) {
 	}
 }
 
+// PAPERS.md must stay a citation index: no retrieval debris, no
+// non-canonical links.
+func TestPapersIndex(t *testing.T) {
+	complaints, err := CheckPapersIndex(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range complaints {
+		t.Error(c)
+	}
+}
+
+// Unit coverage for the PAPERS.md linter: each debris class is flagged on
+// the right line, clean content and canonical arXiv links pass, and a
+// missing file is not an error.
+func TestCheckPapersIndexUnit(t *testing.T) {
+	dir := t.TempDir()
+	dirty := `# PAPERS
+
+- A paper — https://arxiv.org/pdf/1234.56789
+  > (figure omitted in retrieval)
+
+` + "```" + `
+A. Author,<sup>2</sup> B. Author<sup>3</sup>
+` + "```" + `
+- Good citation. https://arxiv.org/abs/1907.01988
+`
+	if err := os.WriteFile(filepath.Join(dir, "PAPERS.md"), []byte(dirty), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	complaints, err := CheckPapersIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{"PAPERS.md:3: link https://arxiv.org/pdf/1234.56789",
+		"PAPERS.md:4: dead figure stub",
+		"PAPERS.md:6: code fence",
+		"PAPERS.md:7: raw author-list debris",
+		"PAPERS.md:8: code fence"}
+	if len(complaints) != len(wants) {
+		t.Fatalf("complaints = %v, want %d of them", complaints, len(wants))
+	}
+	for i, want := range wants {
+		if !strings.HasPrefix(complaints[i], want) {
+			t.Errorf("complaint %d = %q, want prefix %q", i, complaints[i], want)
+		}
+	}
+
+	if complaints, err := CheckPapersIndex(t.TempDir()); err != nil || complaints != nil {
+		t.Fatalf("missing PAPERS.md: complaints %v, err %v, want none", complaints, err)
+	}
+}
+
 // Unit coverage for the mention scanner on a synthetic package: names
 // mentioned in the package doc, named by an Example, referenced from an
 // example body, and not mentioned at all.

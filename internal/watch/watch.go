@@ -1,0 +1,222 @@
+// Package watch fans the engine's per-commit root-view delta stream out to
+// any number of subscribers. One Broadcaster per engine installs itself as
+// the engine's single CommitSink; each subscriber owns a bounded ring (a
+// buffered channel of shared, reference-counted CommitDelta records) that
+// the committer fills without ever blocking: a subscriber whose ring is
+// full is evicted with a LaggedError carrying the exact epoch range it
+// missed, and every other subscriber's stream is unaffected.
+//
+// The package spawns no goroutines: publication runs on the committer's
+// goroutine (under the engine's writer lock), consumption on each
+// subscriber's. Lock order is engine.mu → Broadcaster.mu → Sub.mu; no path
+// acquires them in any other order, and no callback into the engine happens
+// under a broadcaster lock.
+//
+// Gap-freedom: Subscribe captures the anchor snapshot and registers the
+// ring under one writer-lock hold (core.SubscribeCommits), so the ring
+// receives every commit with epoch > anchor — the first record a
+// subscriber reads is always anchor+1, and records arrive in strictly
+// consecutive epoch order until the subscriber is closed or evicted.
+package watch
+
+import (
+	"fmt"
+	"sync"
+
+	"ivmeps/internal/core"
+)
+
+// DefaultBuffer is the ring capacity used when Subscribe is given a
+// non-positive buffer: a subscriber may fall this many commits behind the
+// writer before it is evicted.
+const DefaultBuffer = 64
+
+// LaggedError reports a subscriber evicted for falling behind: the commits
+// with epochs From through To (inclusive) were dropped from its stream.
+// The stream delivered every epoch before From in order, and nothing after
+// To; a consumer resynchronizes by taking a fresh snapshot-anchored
+// subscription.
+type LaggedError struct {
+	From, To uint64
+}
+
+// Error formats the dropped range.
+func (e *LaggedError) Error() string {
+	return fmt.Sprintf("watch: subscriber lagged: dropped epochs %d..%d (ring full)", e.From, e.To)
+}
+
+// Broadcaster multiplexes one engine's commit-delta stream to many
+// subscribers. It is the engine's CommitSink while at least one subscriber
+// exists; the last subscriber's departure uninstalls it, returning the
+// engine's commit path to its zero-overhead state. Safe for concurrent use.
+type Broadcaster struct {
+	e    *core.Engine
+	mu   sync.Mutex
+	subs map[*Sub]struct{}
+}
+
+// New returns a broadcaster for e. It installs nothing until the first
+// Subscribe.
+func New(e *core.Engine) *Broadcaster {
+	return &Broadcaster{e: e, subs: make(map[*Sub]struct{})}
+}
+
+// PublishCommit implements core.CommitSink: it runs on the committer's
+// goroutine under the engine's writer lock, once per commit in epoch
+// order. Delivery to each live subscriber is one non-blocking ring send;
+// a full ring evicts its subscriber (close the ring, start the gap), and
+// already-evicted subscribers just extend their gap until the consumer
+// notices.
+func (b *Broadcaster) PublishCommit(cd *core.CommitDelta) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		s.mu.Lock()
+		if s.lag != nil {
+			s.lag.To = cd.Epoch
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		cd.Retain()
+		select {
+		case s.ring <- cd:
+		default:
+			cd.Release()
+			s.mu.Lock()
+			s.lag = &LaggedError{From: cd.Epoch, To: cd.Epoch}
+			s.mu.Unlock()
+			// Closing the ring is safe: sends and close are both serialized
+			// under b.mu, and a closed ring is never sent to again (the lag
+			// marker above gates every later publish). The consumer drains
+			// the buffered prefix, then sees the close.
+			close(s.ring)
+		}
+	}
+}
+
+// idle reports whether no subscribers remain; the engine calls it under
+// its writer lock during UnsubscribeCommits, making "last one out turns
+// off capture" atomic with a racing Subscribe.
+func (b *Broadcaster) idle() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs) == 0
+}
+
+// Subscribe registers a new subscriber with the given ring capacity
+// (DefaultBuffer if non-positive) and returns it with its anchor snapshot:
+// the subscriber's stream starts at the snapshot's epoch + 1, gap-free.
+// The caller owns the snapshot and must Close it; the subscriber must be
+// Closed when done.
+func (b *Broadcaster) Subscribe(buffer int) (*Sub, *core.Snapshot, error) {
+	if buffer <= 0 {
+		buffer = DefaultBuffer
+	}
+	s := &Sub{
+		b:    b,
+		ring: make(chan *core.CommitDelta, buffer),
+		done: make(chan struct{}),
+	}
+	snap, err := b.e.SubscribeCommits(b, func(uint64) {
+		b.mu.Lock()
+		b.subs[s] = struct{}{}
+		b.mu.Unlock()
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, snap, nil
+}
+
+// Sub is one subscription: a bounded ring of commit records. Next is for a
+// single consumer goroutine; Close may be called from any goroutine, any
+// number of times, including concurrently with Next.
+type Sub struct {
+	b    *Broadcaster
+	ring chan *core.CommitDelta
+	done chan struct{}
+
+	mu     sync.Mutex
+	lag    *LaggedError // set by the publisher at eviction; grows until detach
+	closed bool
+}
+
+// Next blocks until the next commit record, the subscription is closed, or
+// an eviction surfaces. It returns exactly one of:
+//
+//   - (record, nil): the next commit in epoch order — the caller must
+//     Release the record when done with it (its contents are shared with
+//     other subscribers and recycled after the last Release);
+//   - (nil, *LaggedError): the subscriber was evicted; the buffered prefix
+//     has been fully delivered and the error's From..To is the exact gap.
+//     The subscription is detached — further Next calls keep reporting the
+//     same gap;
+//   - (nil, ErrClosed): Close was called.
+func (s *Sub) Next() (*core.CommitDelta, error) {
+	select {
+	case cd, ok := <-s.ring:
+		if ok {
+			return cd, nil
+		}
+		// Evicted, buffered prefix consumed. Detach first so the publisher
+		// stops extending the gap, then read its final extent.
+		s.detach()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.lag == nil {
+			return nil, ErrClosed
+		}
+		return nil, &LaggedError{From: s.lag.From, To: s.lag.To}
+	case <-s.done:
+		return nil, ErrClosed
+	}
+}
+
+// ErrClosed reports a Next call on a subscription whose Close was called
+// (or that already surfaced its eviction).
+var ErrClosed = fmt.Errorf("watch: subscription closed")
+
+// Close detaches the subscription: the publisher stops delivering to it,
+// any blocked Next returns ErrClosed, buffered records are released, and —
+// if it was the last subscription — the broadcaster uninstalls itself from
+// the engine. Idempotent and safe from any goroutine.
+func (s *Sub) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.detach()
+	close(s.done)
+	// No publisher can reach the ring after detach: drain whatever was
+	// buffered and drop the references. A concurrent Next may win some of
+	// these records; its caller releases those.
+	for {
+		select {
+		case cd, ok := <-s.ring:
+			if !ok {
+				return
+			}
+			cd.Release()
+		default:
+			return
+		}
+	}
+}
+
+// detach removes the subscription from the broadcaster and, when it was
+// the last one, uninstalls the broadcaster from the engine. Holds no lock
+// across the engine call (lock order: engine.mu is always taken first).
+func (s *Sub) detach() {
+	b := s.b
+	b.mu.Lock()
+	_, present := b.subs[s]
+	delete(b.subs, s)
+	b.mu.Unlock()
+	if present {
+		b.e.UnsubscribeCommits(b, b.idle)
+	}
+}

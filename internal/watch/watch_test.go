@@ -1,0 +1,304 @@
+package watch_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ivmeps/internal/core"
+	"ivmeps/internal/naive"
+	"ivmeps/internal/query"
+	"ivmeps/internal/tuple"
+	"ivmeps/internal/viewtree"
+	"ivmeps/internal/watch"
+)
+
+// Broadcaster-level tests against a real core engine: stream integrity
+// (fold of the delta stream over the anchor reproduces the root views at
+// every epoch), eviction semantics (exact gap, buffered prefix intact),
+// and sink lifecycle (last Close uninstalls, resubscribe works).
+
+func mkEngine(t *testing.T, qs string, eps float64) *core.Engine {
+	t.Helper()
+	q := query.MustParse(qs)
+	e, err := core.New(q, core.Options{Mode: viewtree.Dynamic, Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Preprocess(e, naive.Database{}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// viewState is a fold target: per view, row-key → multiplicity.
+type viewState map[string]map[string]int64
+
+func key(t tuple.Tuple) string { return fmt.Sprint([]int64(t)) }
+
+func snapState(s *core.Snapshot, views []string) viewState {
+	st := viewState{}
+	for _, v := range views {
+		m := map[string]int64{}
+		s.ViewForEach(v, func(t tuple.Tuple, mult int64) {
+			m[key(t)] = mult
+		})
+		st[v] = m
+	}
+	return st
+}
+
+func (st viewState) apply(t *testing.T, cd *core.CommitDelta) {
+	t.Helper()
+	for _, vd := range cd.Views {
+		m, ok := st[vd.View]
+		if !ok {
+			t.Fatalf("delta for unknown view %q", vd.View)
+		}
+		for i, row := range vd.Rows {
+			if vd.Mults[i] == 0 {
+				t.Fatalf("view %q: zero-mult delta row %v", vd.View, row)
+			}
+			m[key(row)] += vd.Mults[i]
+			if m[key(row)] == 0 {
+				delete(m, key(row))
+			}
+		}
+	}
+}
+
+func (st viewState) equal(other viewState) error {
+	for v, m := range st {
+		o := other[v]
+		if len(m) != len(o) {
+			return fmt.Errorf("view %q: %d rows vs %d", v, len(m), len(o))
+		}
+		for k, mult := range m {
+			if o[k] != mult {
+				return fmt.Errorf("view %q: row %s has mult %d vs %d", v, k, mult, o[k])
+			}
+		}
+	}
+	return nil
+}
+
+// TestStreamFoldMatchesSnapshots drives single-tuple updates through
+// enough volume to cross major-rebalance thresholds and checks, at every
+// epoch, that folding the delta stream over the anchor equals a fresh
+// snapshot of the engine.
+func TestStreamFoldMatchesSnapshots(t *testing.T) {
+	for _, eps := range []float64{0, 0.5} {
+		t.Run(fmt.Sprintf("eps=%v", eps), func(t *testing.T) {
+			e := mkEngine(t, "Q(A, C) = R(A, B), S(B, C)", eps)
+			views := e.RootViews()
+			if len(views) == 0 {
+				t.Fatal("no root views")
+			}
+
+			b := watch.New(e)
+			sub, anchor, err := b.Subscribe(1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sub.Close()
+			st := snapState(anchor, views)
+			wantEpoch := anchor.Epoch()
+			anchor.Close()
+
+			check := func() {
+				cd, err := sub.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cd.Release()
+				wantEpoch++
+				if cd.Epoch != wantEpoch {
+					t.Fatalf("epoch %d, want %d", cd.Epoch, wantEpoch)
+				}
+				st.apply(t, cd)
+				s := e.Snapshot()
+				defer s.Close()
+				if err := st.equal(snapState(s, views)); err != nil {
+					t.Fatalf("epoch %d: fold diverged: %v", cd.Epoch, err)
+				}
+			}
+
+			// Grow (crossing M doublings), then shrink (crossing halvings).
+			for i := int64(0); i < 60; i++ {
+				if err := e.Update("R", tuple.Tuple{i % 7, i % 5}, 1+i%2); err != nil {
+					t.Fatal(err)
+				}
+				check()
+				if err := e.Update("S", tuple.Tuple{i % 5, i % 11}, 1); err != nil {
+					t.Fatal(err)
+				}
+				check()
+			}
+			for i := int64(59); i >= 0; i-- {
+				if err := e.Update("S", tuple.Tuple{i % 5, i % 11}, -1); err != nil {
+					t.Fatal(err)
+				}
+				check()
+			}
+			if e.Stats().MajorRebalances == 0 {
+				t.Fatal("test never crossed a major rebalance; weaken it less")
+			}
+		})
+	}
+}
+
+// TestBatchStreamIncludesEmptyCommits checks batch commits publish one
+// record per commit — including commits whose root-view delta is empty —
+// with consecutive epochs.
+func TestBatchStreamIncludesEmptyCommits(t *testing.T) {
+	e := mkEngine(t, "Q(A, C) = R(A, B), S(B, C)", 0.5)
+	b := watch.New(e)
+	sub, anchor, err := b.Subscribe(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	last := anchor.Epoch()
+	anchor.Close()
+
+	// R rows with no matching S row: Q's root delta may be empty but the
+	// auxiliary root views still publish; a zero-net batch publishes a
+	// record with no view deltas at all.
+	commits := [][]core.BatchOp{
+		{{Rel: "R", Row: tuple.Tuple{1, 2}, Mult: 1}},
+		{{Rel: "R", Row: tuple.Tuple{3, 4}, Mult: 1}, {Rel: "R", Row: tuple.Tuple{3, 4}, Mult: -1}},
+		{{Rel: "S", Row: tuple.Tuple{2, 9}, Mult: 1}},
+	}
+	for _, ops := range commits {
+		if err := e.CommitBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range commits {
+		cd, err := sub.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cd.Epoch != last+1 {
+			t.Fatalf("epoch %d, want %d", cd.Epoch, last+1)
+		}
+		last = cd.Epoch
+		cd.Release()
+	}
+}
+
+// TestEvictionExactGap fills a buffer-2 subscriber with 6 commits: the
+// first two must arrive intact, then exactly one LaggedError covering
+// epochs anchor+3..anchor+6, and a healthy concurrent subscriber sees all
+// six. After the gap surfaces, Next keeps reporting it.
+func TestEvictionExactGap(t *testing.T) {
+	e := mkEngine(t, "Q(A, B) = R(A, B)", 0)
+	b := watch.New(e)
+	slow, sAnchor, err := b.Subscribe(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	fast, fAnchor, err := b.Subscribe(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	base := sAnchor.Epoch()
+	sAnchor.Close()
+	fAnchor.Close()
+
+	for i := int64(0); i < 6; i++ {
+		if err := e.Update("R", tuple.Tuple{i, i}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 2; i++ {
+		cd, err := slow.Next()
+		if err != nil {
+			t.Fatalf("buffered record %d: %v", i, err)
+		}
+		if cd.Epoch != base+i {
+			t.Fatalf("buffered record epoch %d, want %d", cd.Epoch, base+i)
+		}
+		cd.Release()
+	}
+	for i := 0; i < 2; i++ { // the gap must be stable across calls
+		_, err = slow.Next()
+		var le *watch.LaggedError
+		if !errors.As(err, &le) {
+			t.Fatalf("want LaggedError, got %v", err)
+		}
+		if le.From != base+3 || le.To != base+6 {
+			t.Fatalf("gap %d..%d, want %d..%d", le.From, le.To, base+3, base+6)
+		}
+	}
+	for i := uint64(1); i <= 6; i++ {
+		cd, err := fast.Next()
+		if err != nil {
+			t.Fatalf("healthy subscriber: %v", err)
+		}
+		if cd.Epoch != base+i {
+			t.Fatalf("healthy subscriber epoch %d, want %d", cd.Epoch, base+i)
+		}
+		cd.Release()
+	}
+}
+
+// TestCloseUninstallsSink checks the last Close detaches the broadcaster
+// (a different sink can install afterwards) and that Close and Next are
+// idempotent/well-defined after each other.
+func TestCloseUninstallsSink(t *testing.T) {
+	e := mkEngine(t, "Q(A, B) = R(A, B)", 0)
+	b1 := watch.New(e)
+	sub, anchor, err := b1.Subscribe(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor.Close()
+
+	// A second broadcaster is a different sink: rejected while b1 holds it.
+	b2 := watch.New(e)
+	if _, _, err := b2.Subscribe(4); err == nil {
+		t.Fatal("second sink installed while the first held the engine")
+	}
+
+	sub.Close()
+	sub.Close() // idempotent
+	if _, err := sub.Next(); !errors.Is(err, watch.ErrClosed) {
+		t.Fatalf("Next after Close: %v, want ErrClosed", err)
+	}
+
+	// Uninstalled: b2 may now subscribe, and its stream works.
+	sub2, anchor2, err := b2.Subscribe(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	base := anchor2.Epoch()
+	anchor2.Close()
+	if err := e.Update("R", tuple.Tuple{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	cd, err := sub2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Epoch != base+1 {
+		t.Fatalf("epoch %d, want %d", cd.Epoch, base+1)
+	}
+	cd.Release()
+}
+
+// TestSubscribeBeforePreprocess checks the error path.
+func TestSubscribeBeforePreprocess(t *testing.T) {
+	q := query.MustParse("Q(A, B) = R(A, B)")
+	e, err := core.New(q, core.Options{Mode: viewtree.Dynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := watch.New(e).Subscribe(4); !errors.Is(err, core.ErrNotBuilt) {
+		t.Fatalf("Subscribe before Preprocess: %v, want ErrNotBuilt", err)
+	}
+}

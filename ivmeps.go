@@ -159,6 +159,33 @@
 // the last committed state. Recovery is by restart: reopen the directory
 // with Open, which replays exactly the commits that reached disk. See the
 // failure model in docs/DURABILITY.md.
+//
+// # Watching
+//
+// Engine.Watch streams the engine's result changes as they commit. A
+// Watcher starts from an anchor — a Snapshot of the committed state at
+// subscription, available once via Watcher.Snapshot — and its Events
+// iteration then yields one Event per subsequent commit, in epoch order
+// with no gaps: each Event carries the commit's epoch and, per root view
+// (named by Engine.Views, readable from any snapshot via
+// Snapshot.ViewRows), a ViewDelta of the rows whose multiplicity changed.
+// Folding the deltas over the anchor reproduces the engine's state at
+// every delivered epoch, so a cache, an index, or a downstream replica can
+// stay exactly consistent without re-reading the engine
+// (Example_watch shows the loop). WatchOptions filters the stream to
+// chosen views and sizes the event buffer.
+//
+// The committer never blocks on watchers: each Watcher owns a bounded
+// buffer (WatchOptions.Buffer, default DefaultWatchBuffer), and one that
+// falls further behind than its buffer holds is evicted — its stream ends,
+// after every buffered event, with a WatcherLaggedError naming exactly the
+// epochs it missed (match the class with errors.Is against
+// ErrWatcherLagged), and it re-anchors by calling Watch again. Other
+// watchers and the writer are unaffected, and while no watcher is open the
+// commit path does no capture work — and no allocation — at all. The watch
+// layer spawns no goroutines; events are delivered on whichever goroutine
+// iterates Events, and Watcher.Close (safe from any goroutine, including
+// concurrently with a blocked iteration) releases everything.
 package ivmeps
 
 import (
@@ -172,6 +199,7 @@ import (
 	"ivmeps/internal/tuple"
 	"ivmeps/internal/viewtree"
 	"ivmeps/internal/wal"
+	"ivmeps/internal/watch"
 )
 
 // Query is a parsed conjunctive query.
@@ -283,6 +311,10 @@ type Engine struct {
 	wal    *wal.Log
 	walOps []wal.Op
 	closed bool
+
+	// hub fans the commit-delta stream out to watchers (watch.go). It is
+	// inert — and the commit path pays nothing — until the first Watch.
+	hub *watch.Broadcaster
 }
 
 // New creates an engine. The query must be hierarchical (use Classify to
@@ -298,6 +330,7 @@ func New(q *Query, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	eng := &Engine{q: q, e: e, initial: naive.Database{}}
+	eng.hub = watch.New(e)
 	for _, a := range q.q.Atoms {
 		if _, ok := eng.initial[a.Rel]; !ok {
 			eng.initial[a.Rel] = relation.New(a.Rel, a.Vars)
