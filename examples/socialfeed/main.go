@@ -8,15 +8,27 @@
 // heavy indicator, while the long tail (light) is pre-joined. At ε = 1/2
 // both updates and delay cost O(N^(1/2)) amortized — the weakly Pareto-
 // optimal point for δ1-hierarchical queries (Proposition 10).
+//
+// The second act serves the same engine over HTTP (internal/server, the
+// ivmd service layer) on a loopback listener and replays more churn through
+// the remote client: a remote watcher folds the per-commit delta stream
+// into its own copy of the feed and the program checks that fold against
+// the engine's own view state — remote watch-fold ≡ local view, over a
+// real wire.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"time"
 
 	"ivmeps"
+	"ivmeps/internal/client"
+	"ivmeps/internal/server"
 )
 
 func main() {
@@ -143,4 +155,156 @@ func main() {
 	count := e.Count()
 	fmt.Printf("\nusers with a trending topic now: %d (enumerated in %v)\n",
 		count, time.Since(start).Round(time.Millisecond))
+
+	// ——— Served: the same engine behind the ivmd HTTP service. ———
+	//
+	// From here on the engine is only touched through the wire: commits go
+	// POST /v1/commit as NDJSON op streams, and a remote watcher rides
+	// GET /v1/watch, folding each commit's view deltas into its own copy of
+	// the feed. At the end the folded copy must equal the engine's view
+	// state — the remote fold saw every commit, in order, with no gaps.
+	ctx := context.Background()
+	srv := server.New(e, server.Options{Query: q.String()})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	c, err := client.New("http://"+ln.Addr().String(), client.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserving on %s; replaying churn through the remote client\n", ln.Addr())
+
+	w, err := c.Watch(ctx, client.WatchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	views := e.Views()
+	feed := map[string]map[string]int64{}
+	for _, v := range views {
+		rows, mults, ok := w.AnchorRows(v)
+		if !ok {
+			log.Fatalf("watch anchor missing view %s", v)
+		}
+		vm := make(map[string]int64, len(rows))
+		for i := range rows {
+			vm[fmt.Sprint(rows[i])] = mults[i]
+		}
+		feed[v] = vm
+	}
+
+	// Replay a quarter of the churn volume remotely, in client batches.
+	rb := c.NewBatch()
+	var lastEpoch uint64
+	remoteFlush := func() {
+		if rb.Len() == 0 {
+			return
+		}
+		ep, err := c.Commit(ctx, rb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lastEpoch = ep
+		rb.Reset()
+	}
+	remoteApplied := 0
+	for i := 0; i < churn/4; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			ed := edge{rng.Int63n(users), int64(zipf.Uint64())}
+			if !seen[ed] {
+				seen[ed] = true
+				edges = append(edges, ed)
+				rb.Insert("Follows", []int64{ed.u, ed.t})
+				remoteApplied++
+			}
+		case 1:
+			if len(edges) > 0 {
+				k := rng.Intn(len(edges))
+				ed := edges[k]
+				edges[k] = edges[len(edges)-1]
+				edges = edges[:len(edges)-1]
+				delete(seen, ed)
+				rb.Delete("Follows", []int64{ed.u, ed.t})
+				remoteApplied++
+			}
+		case 2:
+			t := int64(zipf.Uint64())
+			if !trending[t] {
+				trending[t] = true
+				rb.Insert("Trending", []int64{t})
+				remoteApplied++
+			}
+		default:
+			for t := range trending {
+				delete(trending, t)
+				rb.Delete("Trending", []int64{t})
+				remoteApplied++
+				break
+			}
+		}
+		if rb.Len() >= chunk {
+			remoteFlush()
+		}
+	}
+	remoteFlush()
+
+	// Fold the delta stream up to the last commit we published.
+	start = time.Now()
+	for ev, err := range w.Events() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range ev.Deltas {
+			vm := feed[d.View]
+			for i := range d.Rows {
+				k := fmt.Sprint(d.Rows[i])
+				vm[k] += d.Mults[i]
+				if vm[k] == 0 {
+					delete(vm, k)
+				}
+			}
+		}
+		if ev.Epoch >= lastEpoch {
+			break
+		}
+	}
+	fmt.Printf("remote: %d updates committed over HTTP; watch-fold caught up to epoch %d in %v\n",
+		remoteApplied, lastEpoch, time.Since(start).Round(time.Millisecond))
+
+	// The folded remote copy must equal the engine's own view state.
+	snap, err := e.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range views {
+		rows, mults, err := snap.ViewRows(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(rows) != len(feed[v]) {
+			log.Fatalf("view %s: remote fold has %d rows, engine has %d", v, len(feed[v]), len(rows))
+		}
+		for i := range rows {
+			if feed[v][fmt.Sprint(rows[i])] != mults[i] {
+				log.Fatalf("view %s: remote fold diverges at row %v", v, rows[i])
+			}
+		}
+	}
+	snap.Close()
+	fmt.Printf("remote watch-fold ≡ local view state across %d views ✓\n", len(views))
+
+	// Orderly exit: drain ends the watch stream with a terminal frame.
+	srv.Drain()
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	hs.Shutdown(sctx)
+	for range w.Events() {
+	}
+	if w.Drained() {
+		fmt.Println("server drained; watch stream ended cleanly")
+	}
+	w.Close()
 }

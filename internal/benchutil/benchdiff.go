@@ -24,6 +24,17 @@ type DiffOptions struct {
 	// AllowMissing suppresses failures for baseline benchmarks absent from
 	// the fresh run (e.g. when diffing a partial run).
 	AllowMissing bool
+	// AllocNondet marks benchmarks whose allocation profile is inherently
+	// nondeterministic — paths through the Go HTTP stack, say, where
+	// connection reuse and buffer pooling jitter the count run to run.
+	// Matched benchmarks are gated with AllocNondetTolerance instead of
+	// AllocTolerance; nil marks none.
+	AllocNondet func(name string) bool
+	// AllocNondetTolerance is the fractional allocs/op increase allowed
+	// for AllocNondet-matched benchmarks. 0 means 0.5 (50%): loose enough
+	// to absorb HTTP-stack jitter, tight enough to catch a per-op
+	// allocation doubling.
+	AllocNondetTolerance float64
 }
 
 // BenchDiff is the comparison result for one benchmark name.
@@ -73,11 +84,18 @@ func CompareReports(base, fresh *GoBenchReport, opts DiffOptions) []BenchDiff {
 			continue
 		}
 		d.NewNs, d.NewAllocs = f.NsPerOp, f.AllocsPerOp
+		allocTol := opts.AllocTolerance
+		if opts.AllocNondet != nil && opts.AllocNondet(b.Name) {
+			allocTol = opts.AllocNondetTolerance
+			if allocTol == 0 {
+				allocTol = 0.5
+			}
+		}
 		switch {
-		case d.NewAllocs > d.BaseAllocs*(1+opts.AllocTolerance):
+		case d.NewAllocs > d.BaseAllocs*(1+allocTol):
 			d.Bad = true
 			d.Reason = fmt.Sprintf("allocs/op regressed: %.0f -> %.0f (tolerance %.1f%%)",
-				d.BaseAllocs, d.NewAllocs, 100*opts.AllocTolerance)
+				d.BaseAllocs, d.NewAllocs, 100*allocTol)
 		case d.BaseNs > 0 && d.NewNs > d.BaseNs*(1+opts.NsTolerance):
 			d.Bad = true
 			d.Reason = fmt.Sprintf("ns/op regressed %+.1f%% (tolerance %.0f%%)",

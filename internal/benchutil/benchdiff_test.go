@@ -60,6 +60,35 @@ func TestCompareReports(t *testing.T) {
 		t.Fatalf("zero-alloc baseline gaining an alloc not flagged: %+v", d)
 	}
 
+	// AllocNondet-matched benchmarks get the loose 50% default tolerance;
+	// unmatched ones in the same run stay exact, and even a matched one
+	// fails past the loose bound.
+	baseSrv := report(
+		GoBenchResult{Name: "BenchmarkServerCommit", NsPerOp: 100, AllocsPerOp: 600},
+		GoBenchResult{Name: "BenchmarkServerBloat", NsPerOp: 100, AllocsPerOp: 600},
+		GoBenchResult{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: 0},
+	)
+	freshSrv := report(
+		GoBenchResult{Name: "BenchmarkServerCommit", NsPerOp: 100, AllocsPerOp: 800}, // +33%: jitter
+		GoBenchResult{Name: "BenchmarkServerBloat", NsPerOp: 100, AllocsPerOp: 1200}, // 2×: real
+		GoBenchResult{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: 1},
+	)
+	nondet := func(name string) bool { return strings.HasPrefix(name, "BenchmarkServer") }
+	diffs = CompareReports(baseSrv, freshSrv, DiffOptions{NsTolerance: 0.30, AllocNondet: nondet})
+	byName = map[string]BenchDiff{}
+	for _, d := range diffs {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkServerCommit"]; d.Bad {
+		t.Fatalf("nondet alloc jitter failed under the 50%% default: %+v", d)
+	}
+	if d := byName["BenchmarkServerBloat"]; !d.Bad || !strings.Contains(d.Reason, "allocs/op") {
+		t.Fatalf("nondet alloc doubling not flagged: %+v", d)
+	}
+	if d := byName["BenchmarkZero"]; !d.Bad {
+		t.Fatalf("unmatched benchmark lost the exact gate: %+v", d)
+	}
+
 	// Time regression beyond tolerance fails; missing tolerated on demand.
 	fresh2 := report(
 		GoBenchResult{Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: 0},

@@ -1,0 +1,702 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ivmeps"
+	"ivmeps/internal/client"
+	"ivmeps/internal/server"
+)
+
+const testQuery = "Q(A, C) = R(A, B), S(B, C)"
+
+// newStack builds an engine for testQuery, wraps it in a Server with opts,
+// mounts it on a loopback httptest server, and returns a client. Everything
+// is torn down with the test.
+func newStack(t *testing.T, sopts server.Options, copts client.Options) (*ivmeps.Engine, *server.Server, *client.Client) {
+	t.Helper()
+	q := ivmeps.MustParseQuery(testQuery)
+	eng, err := ivmeps.New(q, ivmeps.Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, sopts)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	c, err := client.New(hs.URL, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, srv, c
+}
+
+// sortedRows canonicalizes a (rows, mults) pair for comparison.
+func sortedRows(rows [][]int64, mults []int64) string {
+	lines := make([]string, len(rows))
+	for i := range rows {
+		lines[i] = fmt.Sprintf("%v=%d", rows[i], mults[i])
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ";")
+}
+
+func TestCommitAndRowsRoundtrip(t *testing.T) {
+	eng, _, c := newStack(t, server.Options{}, client.Options{})
+	ctx := context.Background()
+
+	b := c.NewBatch()
+	for i := int64(0); i < 10; i++ {
+		b.Insert("R", []int64{i, i % 3})
+		b.Insert("S", []int64{i % 3, i * 10})
+	}
+	epoch, err := c.Commit(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 { // Build is epoch 1, first commit epoch 2
+		t.Fatalf("commit epoch = %d, want 2", epoch)
+	}
+	// An empty commit publishes nothing new.
+	b.Reset()
+	if ep, err := c.Commit(ctx, b); err != nil || ep != epoch {
+		t.Fatalf("empty commit = (%d, %v), want (%d, nil)", ep, err, epoch)
+	}
+
+	// Remote result == local result.
+	rows, mults, repoch, err := c.Rows(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repoch != epoch {
+		t.Fatalf("rows epoch = %d, want %d", repoch, epoch)
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	var lrows [][]int64
+	var lmults []int64
+	for row, m := range snap.All() {
+		cp := make([]int64, len(row))
+		copy(cp, row)
+		lrows = append(lrows, cp)
+		lmults = append(lmults, m)
+	}
+	if got, want := sortedRows(rows, mults), sortedRows(lrows, lmults); got != want {
+		t.Fatalf("remote result diverges:\n got %s\nwant %s", got, want)
+	}
+
+	// Remote view state == local view state, via All's lazy iterator.
+	for _, v := range eng.Views() {
+		wantRows, wantMults, err := snap.ViewRows(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, errf := c.All(ctx, v)
+		var grows [][]int64
+		var gmults []int64
+		for row, m := range seq {
+			grows = append(grows, row)
+			gmults = append(gmults, m)
+		}
+		if err := errf(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := sortedRows(grows, gmults), sortedRows(wantRows, wantMults); got != want {
+			t.Fatalf("view %s diverges:\n got %s\nwant %s", v, got, want)
+		}
+	}
+}
+
+func TestPaginationHoldsEpochAcrossCommits(t *testing.T) {
+	_, _, c := newStack(t, server.Options{PageSize: 7}, client.Options{PageLimit: 7})
+	ctx := context.Background()
+
+	b := c.NewBatch()
+	for i := int64(0); i < 60; i++ {
+		b.Insert("R", []int64{i, i})
+		b.Insert("S", []int64{i, i})
+	}
+	epoch, err := c.Commit(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Iterate lazily and commit between pages: every yielded row must still
+	// come from the pinned snapshot — same epoch, exactly the 60 original
+	// tuples, none of the interleaved ones.
+	seq, errf := c.All(ctx, "")
+	n := 0
+	for row, mult := range seq {
+		if mult != 1 || row[0] != row[1] || row[0] >= 60 {
+			t.Fatalf("row %v (mult %d) is not from the pinned snapshot", row, mult)
+		}
+		n++
+		if n%10 == 0 {
+			ib := c.NewBatch()
+			ib.Insert("R", []int64{1000 + int64(n), 1})
+			ib.Insert("S", []int64{1, 2000 + int64(n)})
+			if _, err := c.Commit(ctx, ib); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 60 {
+		t.Fatalf("paginated read yielded %d rows, want 60", n)
+	}
+
+	// A fresh read sees the post-commit state at a later epoch.
+	_, _, repoch, err := c.Rows(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repoch <= epoch {
+		t.Fatalf("fresh read epoch = %d, want > %d", repoch, epoch)
+	}
+}
+
+func TestCursorExpiryReturnsGone(t *testing.T) {
+	_, srv, c := newStack(t, server.Options{PageSize: 4, ReaderTTL: time.Millisecond}, client.Options{})
+	ctx := context.Background()
+
+	b := c.NewBatch()
+	for i := int64(0); i < 20; i++ {
+		b.Insert("R", []int64{i, i})
+		b.Insert("S", []int64{i, i})
+	}
+	if _, err := c.Commit(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/v1/result/rows?limit=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	cursor := resp.Header.Get(server.HeaderNext)
+	if cursor == "" {
+		t.Fatal("first page carried no next cursor")
+	}
+
+	time.Sleep(20 * time.Millisecond) // TTL is 1ms: the reader expires
+	resp, err = http.Get(hs.URL + "/v1/result/rows?cursor=" + cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("expired cursor status = %d, want %d", resp.StatusCode, http.StatusGone)
+	}
+
+	// Replaying an old offset (cursor reuse) is also refused.
+	resp, err = http.Get(hs.URL + "/v1/result/rows?limit=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	cursor = resp.Header.Get(server.HeaderNext)
+	if _, err := http.Get(hs.URL + "/v1/result/rows?cursor=" + cursor + "&limit=4"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(hs.URL + "/v1/result/rows?cursor=" + cursor) // stale offset
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("replayed cursor status = %d, want %d", resp.StatusCode, http.StatusGone)
+	}
+}
+
+func TestTypedErrorsSurviveTheWire(t *testing.T) {
+	_, _, c := newStack(t, server.Options{}, client.Options{})
+	ctx := context.Background()
+
+	// Unknown relation → sentinel.
+	if _, err := c.Commit(ctx, c.NewBatch().Insert("Nope", []int64{1, 2})); !errors.Is(err, ivmeps.ErrUnknownRelation) {
+		t.Fatalf("unknown relation err = %v, want ErrUnknownRelation", err)
+	}
+	// Wrong arity → *ArityError with fields.
+	var ae *ivmeps.ArityError
+	if _, err := c.Commit(ctx, c.NewBatch().Insert("R", []int64{1, 2, 3})); !errors.As(err, &ae) {
+		t.Fatalf("arity err = %v, want *ArityError", err)
+	} else if ae.Relation != "R" || len(ae.Row) != 3 {
+		t.Fatalf("ArityError fields = %+v", ae)
+	}
+	// Multiplicity underflow → *MultiplicityError, and the commit is
+	// all-or-nothing: the valid first op must not have landed.
+	before, err := c.Epoch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var me *ivmeps.MultiplicityError
+	bad := c.NewBatch().Insert("R", []int64{7, 7}).Delete("S", []int64{9, 9})
+	if _, err := c.Commit(ctx, bad); !errors.As(err, &me) {
+		t.Fatalf("multiplicity err = %v, want *MultiplicityError", err)
+	}
+	if after, _ := c.Epoch(ctx); after != before {
+		t.Fatalf("rejected commit advanced the epoch %d → %d", before, after)
+	}
+	if rows, _, _, err := c.Rows(ctx, ""); err != nil || len(rows) != 0 {
+		t.Fatalf("rejected commit leaked state: rows=%v err=%v", rows, err)
+	}
+
+	// Unknown view → WireError with CodeUnknownView (no local counterpart).
+	var we *server.WireError
+	if _, _, _, err := c.Rows(ctx, "NoSuchView"); !errors.As(err, &we) || we.Code != server.CodeUnknownView {
+		t.Fatalf("unknown view err = %v, want WireError{unknown_view}", err)
+	}
+	// Watch on an unknown view is refused the same way.
+	if _, err := c.Watch(ctx, client.WatchOptions{Views: []string{"NoSuchView"}}); !errors.As(err, &we) || we.Code != server.CodeUnknownView {
+		t.Fatalf("unknown watch view err = %v, want WireError{unknown_view}", err)
+	}
+}
+
+func TestWatchStreamsCommits(t *testing.T) {
+	eng, _, c := newStack(t, server.Options{}, client.Options{})
+	ctx := context.Background()
+
+	// Seed some state so the anchor is non-trivial.
+	seed := c.NewBatch().Insert("R", []int64{1, 2}).Insert("S", []int64{2, 3})
+	anchorEpoch, err := c.Commit(ctx, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := c.Watch(ctx, client.WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Epoch() != anchorEpoch {
+		t.Fatalf("anchor epoch = %d, want %d", w.Epoch(), anchorEpoch)
+	}
+	if w.Resumed() {
+		t.Fatal("fresh watch reported Resumed")
+	}
+	// Anchor covers every root view, including empty ones.
+	for _, v := range eng.Views() {
+		if _, _, ok := w.AnchorRows(v); !ok {
+			t.Fatalf("anchor missing view %s", v)
+		}
+	}
+
+	// Commit twice; the stream yields both with consecutive epochs.
+	if _, err := c.Commit(ctx, c.NewBatch().Insert("R", []int64{5, 6})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Commit(ctx, c.NewBatch().Insert("S", []int64{6, 7})); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for ev, err := range w.Events() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got++
+		if want := anchorEpoch + uint64(got); ev.Epoch != want {
+			t.Fatalf("event %d epoch = %d, want %d", got, ev.Epoch, want)
+		}
+		if got == 2 {
+			break
+		}
+	}
+	if got != 2 {
+		t.Fatalf("saw %d events, want 2", got)
+	}
+}
+
+func TestWatchResumeAndReset(t *testing.T) {
+	_, _, c := newStack(t, server.Options{}, client.Options{})
+	ctx := context.Background()
+
+	if _, err := c.Commit(ctx, c.NewBatch().Insert("R", []int64{1, 1}).Insert("S", []int64{1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := c.Epoch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// from_epoch == committed epoch: gap-free continuation, no state dump.
+	w, err := c.Watch(ctx, client.WatchOptions{FromEpoch: epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Resumed() {
+		t.Fatal("watch at the committed epoch did not resume")
+	}
+	if _, _, ok := w.AnchorRows(w.Views()[0]); ok {
+		t.Fatal("resumed watch carried an anchor state dump")
+	}
+	if _, err := c.Commit(ctx, c.NewBatch().Insert("R", []int64{2, 2})); err != nil {
+		t.Fatal(err)
+	}
+	for ev, err := range w.Events() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Epoch != epoch+1 {
+			t.Fatalf("resumed stream's first event epoch = %d, want %d", ev.Epoch, epoch+1)
+		}
+		break
+	}
+	w.Close()
+
+	// from_epoch older than the committed epoch: full reset dump.
+	w, err = c.Watch(ctx, client.WatchOptions{FromEpoch: epoch - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Resumed() {
+		t.Fatal("stale from_epoch resumed instead of resetting")
+	}
+	if _, _, ok := w.AnchorRows(w.Views()[0]); !ok {
+		t.Fatal("reset watch carried no anchor state")
+	}
+	w.Close()
+
+	// from_epoch ahead of the committed epoch: refused.
+	var we *server.WireError
+	if _, err := c.Watch(ctx, client.WatchOptions{FromEpoch: epoch + 100}); !errors.As(err, &we) || we.Code != server.CodeEpochAhead {
+		t.Fatalf("future from_epoch err = %v, want WireError{epoch_ahead}", err)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, srv, c := newStack(t, server.Options{}, client.Options{})
+	ctx := context.Background()
+	if _, err := c.Commit(ctx, c.NewBatch().Insert("R", []int64{1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Rows(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`ivmd_requests_total{endpoint="commit"} 1`,
+		`ivmd_commits_total{outcome="ok"} 1`,
+		"ivmd_commit_latency_seconds_count 1",
+		"ivmd_commit_latency_seconds_bucket{le=\"+Inf\"} 1",
+		"ivmd_watchers 0",
+		"ivmd_epoch 2",
+		"ivmd_db_size 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDrainSemantics(t *testing.T) {
+	_, srv, c := newStack(t, server.Options{}, client.Options{})
+	ctx := context.Background()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	if _, err := c.Commit(ctx, c.NewBatch().Insert("R", []int64{1, 1}).Insert("S", []int64{1, 1})); err != nil {
+		t.Fatal(err)
+	}
+
+	// A live watcher, and a commit already past the drain check (its body
+	// arrives byte by byte through a pipe).
+	w, err := c.Watch(ctx, client.WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// An event committed before the drain must be delivered before the
+	// terminal frame.
+	if _, err := c.Commit(ctx, c.NewBatch().Insert("R", []int64{5, 5}).Insert("S", []int64{5, 5})); err != nil {
+		t.Fatal(err)
+	}
+
+	pr, pw := io.Pipe()
+	commitDone := make(chan error, 1)
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/commit", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			commitDone <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("in-flight commit status %d", resp.StatusCode)
+		}
+		commitDone <- err
+	}()
+	if _, err := io.WriteString(pw, `{"rel":"R","row":[9,9]}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the handler pass the drain check
+
+	srv.Drain()
+	if !srv.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+
+	// The in-flight commit completes once its body finishes.
+	if _, err := io.WriteString(pw, `{"rel":"S","row":[9,9]}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-commitDone; err != nil {
+		t.Fatalf("in-flight commit failed across drain: %v", err)
+	}
+
+	// The watcher sees the pre-drain commit, then the terminal end frame —
+	// not a dropped connection. (The in-flight commit landed after Drain
+	// closed the stream, so its event is not guaranteed here; its state is
+	// verified by the read below.)
+	sawEvent := false
+	for ev, err := range w.Events() {
+		if err != nil {
+			t.Fatalf("watch stream errored during drain: %v", err)
+		}
+		if len(ev.Deltas) > 0 {
+			sawEvent = true
+		}
+	}
+	if !w.Drained() {
+		t.Fatal("watch stream did not end with the drain frame")
+	}
+	if !sawEvent {
+		t.Fatal("watcher missed the pre-drain commit")
+	}
+
+	// The in-flight commit's state is durable and readable post-drain.
+	rows, _, _, err := c.Rows(ctx, "")
+	if err != nil {
+		t.Fatalf("post-drain read failed: %v", err)
+	}
+	found := false
+	for _, r := range rows {
+		if r[0] == 9 && r[1] == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("in-flight commit's row Q(9,9) missing from post-drain state")
+	}
+
+	// New work is refused.
+	var we *server.WireError
+	if _, err := c.Commit(ctx, c.NewBatch().Insert("R", []int64{2, 2})); !errors.As(err, &we) || we.Code != server.CodeDraining {
+		t.Fatalf("post-drain commit err = %v, want WireError{draining}", err)
+	}
+	if _, err := c.Watch(ctx, client.WatchOptions{}); !errors.As(err, &we) || we.Code != server.CodeDraining {
+		t.Fatalf("post-drain watch err = %v, want WireError{draining}", err)
+	}
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status = %d, want 503", resp.StatusCode)
+	}
+
+	// Reads still work on a draining server (it is read-only, not dead).
+	if _, _, _, err := c.Rows(ctx, ""); err != nil {
+		t.Fatalf("post-drain read failed: %v", err)
+	}
+}
+
+// gatedWriter is a ResponseWriter whose Write blocks once the gate closes,
+// simulating a stalled consumer without a real socket.
+type gatedWriter struct {
+	mu     sync.Mutex
+	header http.Header
+	lines  chan string
+	buf    strings.Builder
+	gate   chan struct{} // closed → writes block until release
+	free   chan struct{} // closed → blocked writes return
+}
+
+// Header implements http.ResponseWriter.
+func (g *gatedWriter) Header() http.Header { return g.header }
+
+// WriteHeader implements http.ResponseWriter.
+func (g *gatedWriter) WriteHeader(int) {}
+
+// Flush implements http.Flusher so the handler streams.
+func (g *gatedWriter) Flush() {}
+
+// Write records complete NDJSON lines, blocking while the gate is closed.
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	select {
+	case <-g.gate:
+		<-g.free
+	default:
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.buf.Write(p)
+	for {
+		s := g.buf.String()
+		i := strings.IndexByte(s, '\n')
+		if i < 0 {
+			break
+		}
+		g.lines <- s[:i]
+		g.buf.Reset()
+		g.buf.WriteString(s[i+1:])
+	}
+	return len(p), nil
+}
+
+func TestWatchLaggedEviction(t *testing.T) {
+	q := ivmeps.MustParseQuery(testQuery)
+	eng, err := ivmeps.New(q, ivmeps.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, server.Options{})
+
+	gw := &gatedWriter{
+		header: make(http.Header),
+		lines:  make(chan string, 1024),
+		gate:   make(chan struct{}),
+		free:   make(chan struct{}),
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/watch?buffer=1", nil)
+	handlerDone := make(chan struct{})
+	go func() {
+		srv.ServeHTTP(gw, req)
+		close(handlerDone)
+	}()
+
+	// Wait for the stream opening, then stall the writer.
+	for line := range gw.lines {
+		f, err := server.ParseFrame([]byte(line))
+		if err != nil {
+			t.Error(err)
+			break
+		}
+		if f.Type == server.FrameReady {
+			break
+		}
+	}
+	close(gw.gate)
+
+	// The handler is (or will be) blocked writing; buffer is 1, so a burst
+	// of commits must overflow it and evict the watcher. Commits go through
+	// the engine directly — the test goroutine is the single writer here.
+	b := eng.NewBatch()
+	for i := int64(0); i < 16; i++ {
+		b.Reset()
+		b.Insert("R", []int64{i, i})
+		if err := eng.Commit(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gw.free) // un-stall; the handler drains and sends the lagged frame
+	<-handlerDone
+
+	sawLagged := false
+	close(gw.lines)
+	for line := range gw.lines {
+		f, err := server.ParseFrame([]byte(line))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type == server.FrameLagged {
+			sawLagged = true
+			if f.To <= f.From || f.From == 0 {
+				t.Fatalf("lagged frame range [%d, %d] is malformed", f.From, f.To)
+			}
+		}
+	}
+	if !sawLagged {
+		t.Fatal("stalled watcher was not evicted with a lagged frame")
+	}
+}
+
+// TestLaggedOverClientSurface verifies the client maps a lagged frame back
+// onto ivmeps.ErrWatcherLagged.
+func TestLaggedOverClientSurface(t *testing.T) {
+	frame := `{"type":"lagged","from":5,"to":9}` + "\n"
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/v1/watch"):
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			bw := bufio.NewWriter(w)
+			bw.WriteString(`{"type":"anchor","epoch":4,"views":["V0"]}` + "\n")
+			bw.WriteString(`{"type":"rows","view":"V0","rows":[],"mults":[]}` + "\n")
+			bw.WriteString(`{"type":"ready","epoch":4}` + "\n")
+			bw.WriteString(frame)
+			bw.Flush()
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer hs.Close()
+	c, err := client.New(hs.URL, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(context.Background(), client.WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var sawErr error
+	for _, err := range w.Events() {
+		sawErr = err
+	}
+	if !errors.Is(sawErr, ivmeps.ErrWatcherLagged) {
+		t.Fatalf("lagged frame decoded to %v, want ErrWatcherLagged", sawErr)
+	}
+	var wle *ivmeps.WatcherLaggedError
+	if !errors.As(sawErr, &wle) || wle.From != 5 || wle.To != 9 {
+		t.Fatalf("lagged error fields = %v", sawErr)
+	}
+}

@@ -1,0 +1,311 @@
+// Package server exposes one built *ivmeps.Engine over HTTP: batch
+// commits, snapshot-consistent paginated reads, and per-commit watch
+// streaming, all framed as newline-delimited JSON (NDJSON). The package is
+// stdlib-only and spawns no goroutines of its own beyond the per-connection
+// goroutines net/http already runs; internal/client is the matching Go
+// client, and cmd/ivmd the daemon wrapping both behind flags.
+//
+// Endpoints (full wire grammar and semantics: docs/SERVICE.md):
+//
+//	POST /v1/commit               NDJSON op stream → one atomic commit
+//	GET  /v1/result/rows          paginated query-result enumeration
+//	GET  /v1/views/{view}/rows    paginated root-view enumeration
+//	GET  /v1/watch                chunked NDJSON commit-delta stream
+//	GET  /v1/stats                engine counters + epoch as JSON
+//	GET  /healthz                 liveness (503 while draining)
+//	GET  /metrics                 Prometheus text exposition
+//
+// Reads are backed by Engine.Snapshot, so they never block the writer; a
+// pagination cursor pins one snapshot, making every page of one read
+// observe the same epoch. The watch stream anchors at a snapshot and then
+// relays the engine's gap-free per-commit deltas; a consumer that cannot
+// keep up is evicted with a typed "lagged" frame naming the missed epochs,
+// exactly as the in-process Watcher reports them.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ivmeps"
+)
+
+// Op is one update of a commit stream: the multiplicity delta Mult applied
+// to Row of relation Rel. On the wire it is one NDJSON value,
+//
+//	{"rel":"R","row":[1,10],"mult":-2}
+//
+// and a missing "mult" key means +1, so a plain insert needs only rel and
+// row. Zero is legal (validated, no effect), matching Batch.Apply.
+type Op struct {
+	Rel  string  `json:"rel"`
+	Row  []int64 `json:"row"`
+	Mult int64   `json:"mult"`
+}
+
+// opWire is Op's decode shape: the pointer distinguishes a missing "mult"
+// (defaulted to +1) from an explicit zero.
+type opWire struct {
+	Rel  string  `json:"rel"`
+	Row  []int64 `json:"row"`
+	Mult *int64  `json:"mult"`
+}
+
+// DecodeOps reads a commit's NDJSON op stream. maxOps bounds the stream
+// (<=0 means DefaultMaxOps); exceeding it, a syntactically malformed
+// value, or an op without a relation name is a *WireError with code
+// "bad_request" identifying the offending op index.
+func DecodeOps(r io.Reader, maxOps int) ([]Op, error) {
+	if maxOps <= 0 {
+		maxOps = DefaultMaxOps
+	}
+	dec := json.NewDecoder(r)
+	var ops []Op
+	for i := 0; ; i++ {
+		var ow opWire
+		if err := dec.Decode(&ow); err != nil {
+			if err == io.EOF {
+				return ops, nil
+			}
+			return nil, &WireError{Code: CodeBadRequest, Message: fmt.Sprintf("op %d: %v", i, err)}
+		}
+		if i >= maxOps {
+			return nil, &WireError{Code: CodeBadRequest, Message: fmt.Sprintf("more than %d ops in one commit", maxOps)}
+		}
+		if ow.Rel == "" {
+			return nil, &WireError{Code: CodeBadRequest, Message: fmt.Sprintf("op %d: missing relation name", i)}
+		}
+		mult := int64(1)
+		if ow.Mult != nil {
+			mult = *ow.Mult
+		}
+		ops = append(ops, Op{Rel: ow.Rel, Row: ow.Row, Mult: mult})
+	}
+}
+
+// DefaultMaxOps bounds the number of ops DecodeOps accepts in one commit
+// when the caller does not say otherwise.
+const DefaultMaxOps = 1 << 20
+
+// Frame is one NDJSON value of the /v1/watch stream. Type selects which of
+// the remaining fields are meaningful:
+//
+//	"anchor"  Epoch, Views, Resume — stream start; Resume true means the
+//	          client's from_epoch matched and no state dump follows
+//	"rows"    View, Rows, Mults — one chunk of the anchor state dump
+//	"ready"   Epoch — anchor dump complete; event frames follow
+//	"event"   Epoch, Deltas — one commit's root-view deltas (Deltas empty
+//	          for a commit that changed none of the subscribed views)
+//	"lagged"  From, To — the watcher was evicted; commits From..To were
+//	          dropped and the stream ends
+//	"end"     Reason — orderly stream end (server drain); no data was lost
+//	"error"   Err — the request failed after headers were sent
+type Frame struct {
+	Type   string     `json:"type"`
+	Epoch  uint64     `json:"epoch,omitempty"`
+	Views  []string   `json:"views,omitempty"`
+	Resume bool       `json:"resume,omitempty"`
+	View   string     `json:"view,omitempty"`
+	Rows   [][]int64  `json:"rows,omitempty"`
+	Mults  []int64    `json:"mults,omitempty"`
+	Deltas []Delta    `json:"deltas,omitempty"`
+	From   uint64     `json:"from,omitempty"`
+	To     uint64     `json:"to,omitempty"`
+	Reason string     `json:"reason,omitempty"`
+	Err    *WireError `json:"error,omitempty"`
+}
+
+// The Frame.Type values.
+const (
+	FrameAnchor = "anchor"
+	FrameRows   = "rows"
+	FrameReady  = "ready"
+	FrameEvent  = "event"
+	FrameLagged = "lagged"
+	FrameEnd    = "end"
+	FrameError  = "error"
+)
+
+// Delta is one root view's change within an event frame: Rows[i] changed
+// multiplicity by Mults[i]. It mirrors ivmeps.ViewDelta value for value.
+type Delta struct {
+	View  string    `json:"view"`
+	Rows  [][]int64 `json:"rows"`
+	Mults []int64   `json:"mults"`
+}
+
+// ParseFrame decodes one watch frame from its NDJSON line. A frame without
+// a type, or one whose JSON is malformed, is an error; unknown frame types
+// decode successfully (forward compatibility — clients skip them).
+func ParseFrame(line []byte) (Frame, error) {
+	var f Frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		return Frame{}, err
+	}
+	if f.Type == "" {
+		return Frame{}, errors.New("frame without a type")
+	}
+	return f, nil
+}
+
+// CommitReply is the success body of POST /v1/commit: the epoch the commit
+// published (unchanged for an empty op stream) and the op count applied.
+type CommitReply struct {
+	Epoch uint64 `json:"epoch"`
+	Ops   int    `json:"ops"`
+}
+
+// RowsPage is one page of a paginated read. Rows[i] has multiplicity
+// Mults[i]; Epoch is the pinned snapshot's epoch (identical on every page
+// of one read), Count the total distinct rows of the full result, and Next
+// the cursor for the following page — empty on the last page.
+type RowsPage struct {
+	View  string    `json:"view,omitempty"`
+	Epoch uint64    `json:"epoch"`
+	Count int       `json:"count"`
+	Rows  [][]int64 `json:"rows"`
+	Mults []int64   `json:"mults"`
+	Next  string    `json:"next,omitempty"`
+}
+
+// StatsReply is the body of GET /v1/stats.
+type StatsReply struct {
+	// Query is the served query's text, when the server was told it
+	// (Options.Query); informational only.
+	Query string `json:"query,omitempty"`
+	// Epoch is the current committed snapshot epoch.
+	Epoch uint64 `json:"epoch"`
+	// N is the database size (distinct tuples across base relations).
+	N int `json:"n"`
+	// Views names the root views (Engine.Views order).
+	Views []string `json:"views"`
+	// Watchers is the number of live watch streams.
+	Watchers int64 `json:"watchers"`
+	// Readers is the number of open pagination cursors.
+	Readers int `json:"readers"`
+	// Draining reports whether Drain has been called.
+	Draining bool `json:"draining"`
+	// Engine carries the engine's maintenance counters.
+	Engine EngineStats `json:"engine"`
+}
+
+// EngineStats mirrors ivmeps.Stats with JSON tags.
+type EngineStats struct {
+	Updates         int64 `json:"updates"`
+	MinorRebalances int64 `json:"minor_rebalances"`
+	MajorRebalances int64 `json:"major_rebalances"`
+	ViewDeltas      int64 `json:"view_deltas"`
+	Batches         int64 `json:"batches"`
+	BatchRelations  int64 `json:"batch_relations"`
+}
+
+// The pagination response headers, duplicated from the body for curl-level
+// consumers: the pinned snapshot epoch, the total result count, and the
+// next-page cursor.
+const (
+	HeaderEpoch = "X-Ivmd-Epoch"
+	HeaderCount = "X-Ivmd-Count"
+	HeaderNext  = "X-Ivmd-Next-Cursor"
+)
+
+// WireError is the machine-readable error body of every non-2xx response
+// (wrapped as {"error":{...}}) and of in-stream "error" frames. Code is
+// from the Code* set; the remaining fields carry the typed detail of the
+// engine errors they mirror, so internal/client can reconstruct
+// ivmeps.ArityError, ivmeps.MultiplicityError, and friends exactly.
+type WireError struct {
+	Code     string   `json:"code"`
+	Message  string   `json:"message"`
+	Relation string   `json:"relation,omitempty"`
+	Row      []int64  `json:"row,omitempty"`
+	Schema   []string `json:"schema,omitempty"`
+	Have     int64    `json:"have,omitempty"`
+	Delta    int64    `json:"delta,omitempty"`
+}
+
+// Error formats the wire error.
+func (e *WireError) Error() string { return fmt.Sprintf("ivmd: %s: %s", e.Code, e.Message) }
+
+// The WireError codes.
+const (
+	// CodeBadRequest: malformed request framing (bad JSON, bad parameters).
+	CodeBadRequest = "bad_request"
+	// CodeUnknownRelation mirrors ivmeps.ErrUnknownRelation.
+	CodeUnknownRelation = "unknown_relation"
+	// CodeUnknownView: a view name Engine.Views does not list.
+	CodeUnknownView = "unknown_view"
+	// CodeArity mirrors ivmeps.ArityError.
+	CodeArity = "arity"
+	// CodeMultiplicity mirrors ivmeps.MultiplicityError.
+	CodeMultiplicity = "multiplicity"
+	// CodeStatic mirrors ivmeps.ErrStatic.
+	CodeStatic = "static"
+	// CodeNotBuilt mirrors ivmeps.ErrNotBuilt.
+	CodeNotBuilt = "not_built"
+	// CodeWedged mirrors ivmeps.LogWedgedError: the WAL failed and the
+	// engine is read-only until restarted.
+	CodeWedged = "wedged"
+	// CodeGone: the pagination cursor expired or was evicted; restart the
+	// read from the first page.
+	CodeGone = "gone"
+	// CodeDraining: the server is shutting down and accepts no new commits
+	// or watch streams.
+	CodeDraining = "draining"
+	// CodeEpochAhead: a watch asked to resume from an epoch the engine has
+	// not reached (a client ahead of a restarted server).
+	CodeEpochAhead = "epoch_ahead"
+	// CodeInternal: an unclassified server-side failure.
+	CodeInternal = "internal"
+)
+
+// HTTPStatus maps a WireError code to its response status.
+func HTTPStatus(code string) int {
+	switch code {
+	case CodeBadRequest, CodeArity, CodeMultiplicity, CodeEpochAhead:
+		return http.StatusBadRequest
+	case CodeUnknownRelation, CodeUnknownView:
+		return http.StatusNotFound
+	case CodeGone:
+		return http.StatusGone
+	case CodeStatic, CodeNotBuilt:
+		return http.StatusConflict
+	case CodeWedged, CodeDraining:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// EncodeError maps an engine (or server) error to its wire form. Typed
+// engine errors keep their structure; anything unrecognized becomes
+// CodeInternal with the error text.
+func EncodeError(err error) *WireError {
+	var we *WireError
+	if errors.As(err, &we) {
+		return we
+	}
+	var ae *ivmeps.ArityError
+	if errors.As(err, &ae) {
+		return &WireError{Code: CodeArity, Message: ae.Error(), Relation: ae.Relation, Row: ae.Row, Schema: ae.Schema}
+	}
+	var me *ivmeps.MultiplicityError
+	if errors.As(err, &me) {
+		return &WireError{Code: CodeMultiplicity, Message: me.Error(), Relation: me.Relation, Row: me.Row, Have: me.Have, Delta: me.Delta}
+	}
+	var lwe *ivmeps.LogWedgedError
+	if errors.As(err, &lwe) {
+		return &WireError{Code: CodeWedged, Message: lwe.Error()}
+	}
+	switch {
+	case errors.Is(err, ivmeps.ErrUnknownRelation):
+		return &WireError{Code: CodeUnknownRelation, Message: err.Error()}
+	case errors.Is(err, ivmeps.ErrStatic):
+		return &WireError{Code: CodeStatic, Message: err.Error()}
+	case errors.Is(err, ivmeps.ErrNotBuilt):
+		return &WireError{Code: CodeNotBuilt, Message: err.Error()}
+	}
+	return &WireError{Code: CodeInternal, Message: err.Error()}
+}
